@@ -1,0 +1,159 @@
+//! Small streaming statistics helpers.
+
+use lit_sim::{Duration, Time};
+
+/// Streaming mean/variance/extrema over `f64` samples (Welford's online
+/// algorithm — numerically stable, single pass).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` if empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Accumulates the fraction of time a two-state (busy/idle) process spends
+/// busy — used for measured link utilization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BusyFraction {
+    busy: Duration,
+    busy_since: Option<Time>,
+}
+
+impl BusyFraction {
+    /// A tracker that starts idle at `Time::ZERO`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mark the process busy from `now`. Idempotent if already busy.
+    pub fn set_busy(&mut self, now: Time) {
+        if self.busy_since.is_none() {
+            self.busy_since = Some(now);
+        }
+    }
+
+    /// Mark the process idle from `now`, accumulating the elapsed busy
+    /// span. Idempotent if already idle.
+    pub fn set_idle(&mut self, now: Time) {
+        if let Some(since) = self.busy_since.take() {
+            self.busy += now - since;
+        }
+    }
+
+    /// Busy fraction over `[ZERO, now]`, closing any open busy interval
+    /// virtually at `now`.
+    pub fn fraction_at(&self, now: Time) -> f64 {
+        if now == Time::ZERO {
+            return 0.0;
+        }
+        let mut busy = self.busy;
+        if let Some(since) = self.busy_since {
+            busy += now - since;
+        }
+        busy.as_secs_f64() / (now - Time::ZERO).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((s.variance().unwrap() - 4.0).abs() < 1e-12);
+        assert!((s.stddev().unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn busy_fraction_half() {
+        let mut b = BusyFraction::new();
+        b.set_busy(Time::from_ms(0));
+        b.set_idle(Time::from_ms(5));
+        b.set_busy(Time::from_ms(8));
+        b.set_idle(Time::from_ms(13));
+        assert!((b.fraction_at(Time::from_ms(20)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_fraction_open_interval_counts() {
+        let mut b = BusyFraction::new();
+        b.set_busy(Time::from_ms(10));
+        assert!((b.fraction_at(Time::from_ms(20)) - 0.5).abs() < 1e-12);
+        // Idempotent busy/idle.
+        b.set_busy(Time::from_ms(15));
+        b.set_idle(Time::from_ms(20));
+        b.set_idle(Time::from_ms(25));
+        assert!((b.fraction_at(Time::from_ms(20)) - 0.5).abs() < 1e-12);
+    }
+}

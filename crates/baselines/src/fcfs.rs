@@ -1,0 +1,67 @@
+//! First-come-first-served — the non-solution the paper's introduction
+//! argues against.
+//!
+//! FCFS gives no per-session guarantees: a misbehaving session inflates
+//! every other session's delay without limit. It is included as the
+//! baseline for the firewall/isolation experiments and as the simplest
+//! possible [`Discipline`] implementation.
+
+use lit_net::{DelayAssignment, Discipline, Packet, ScheduleDecision, SessionSpec};
+use lit_sim::Time;
+
+/// Plain FCFS: every packet is immediately eligible and served in arrival
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct FcfsDiscipline;
+
+impl FcfsDiscipline {
+    /// A new FCFS scheduler.
+    pub fn new() -> Self {
+        FcfsDiscipline
+    }
+
+    /// A boxed factory for [`lit_net::NetworkBuilder::build`].
+    pub fn factory() -> impl Fn(&lit_net::LinkParams) -> Box<dyn Discipline> {
+        |_: &lit_net::LinkParams| Box::new(FcfsDiscipline) as Box<dyn Discipline>
+    }
+}
+
+impl Discipline for FcfsDiscipline {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn register_session(&mut self, _: &SessionSpec, _: &DelayAssignment) {}
+
+    fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
+        // The "deadline" diagnostic for FCFS is simply the arrival time.
+        pkt.deadline = now;
+        ScheduleDecision::at(now, now)
+    }
+
+    fn on_departure(&mut self, _: &mut Packet, _: Time) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lit_net::SessionId;
+    use lit_sim::Duration;
+
+    #[test]
+    fn arrival_order_is_service_order() {
+        let mut d = FcfsDiscipline::new();
+        d.register_session(
+            &SessionSpec::atm(SessionId(0), 1),
+            &DelayAssignment::LenOverRate,
+        );
+        let mut p1 = Packet::new(SessionId(0), 1, 424, Time::ZERO);
+        let mut p2 = Packet::new(SessionId(0), 2, 424, Time::ZERO);
+        let k1 = d.on_arrival(&mut p1, Time::from_ms(1)).key;
+        let k2 = d.on_arrival(&mut p2, Time::from_ms(2)).key;
+        assert!(k1 < k2);
+        let e = d.on_arrival(&mut p2, Time::from_ms(3));
+        assert_eq!(e.eligible, Time::from_ms(3));
+        let _ = Duration::ZERO;
+    }
+}

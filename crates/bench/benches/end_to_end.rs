@@ -1,0 +1,95 @@
+//! Whole-network simulation rate for the paper's experiment
+//! configurations: how many simulated seconds of the Figure 6 network one
+//! wall-clock second buys, per discipline.
+//!
+//! Each iteration builds the 116-session MIX network (or the CROSS
+//! network) and runs 2 simulated seconds — roughly 120 000 packet
+//! transmissions across the five links.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lit_baselines::{FcfsDiscipline, WfqDiscipline};
+use lit_core::LitDiscipline;
+use lit_net::{LinkParams, NodeId};
+use lit_repro::experiments::common::{build_cross_onoff, build_mix_one_class};
+use lit_sim::{Duration, Time};
+use std::hint::black_box;
+
+fn mix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end/mix_2s");
+    g.sample_size(10);
+    g.bench_function("leave-in-time", |b| {
+        b.iter(|| {
+            let (mut net, tagged) = build_mix_one_class(Duration::from_ms(88), 1);
+            net.run_until(Time::from_secs(2));
+            black_box(net.session_stats(tagged).delivered)
+        })
+    });
+    g.finish();
+}
+
+fn cross(c: &mut Criterion) {
+    use lit_net::QueueKind;
+    use lit_repro::experiments::common::build_cross_onoff_queued;
+    let mut g = c.benchmark_group("end_to_end/cross_2s");
+    g.sample_size(10);
+    g.bench_function("leave-in-time", |b| {
+        b.iter(|| {
+            let (mut net, no_jc, _) = build_cross_onoff(1);
+            net.run_until(Time::from_secs(2));
+            black_box(net.session_stats(no_jc).delivered)
+        })
+    });
+    // Approximate-queue ablation: same workload, bucketed eligible queue.
+    g.bench_function("leave-in-time-bucketed-1ms", |b| {
+        b.iter(|| {
+            let (mut net, no_jc, _) = build_cross_onoff_queued(
+                1,
+                QueueKind::Bucketed {
+                    bucket: Duration::from_ms(1),
+                },
+            );
+            net.run_until(Time::from_secs(2));
+            black_box(net.session_stats(no_jc).delivered)
+        })
+    });
+    g.finish();
+}
+
+/// Same traffic volume under different disciplines, to expose the
+/// scheduler's share of the event-loop cost.
+fn disciplines(c: &mut Criterion) {
+    use lit_net::{NetworkBuilder, SessionId, SessionSpec};
+    use lit_traffic::PoissonSource;
+    let build = |factory: &lit_net::DisciplineFactory<'_>| {
+        let mut b = NetworkBuilder::new().seed(7);
+        let nodes = b.tandem(3, LinkParams::paper_t1());
+        for i in 0..32u64 {
+            b.add_session(
+                SessionSpec::atm(SessionId(0), 40_000),
+                &nodes,
+                Box::new(PoissonSource::new(Duration::from_us(12_000 + i * 37), 424)),
+            );
+        }
+        b.build(factory)
+    };
+    let mut g = c.benchmark_group("end_to_end/32poisson_3hop_5s");
+    g.sample_size(10);
+    let lit = |l: &LinkParams| Box::new(LitDiscipline::new(*l)) as Box<dyn lit_net::Discipline>;
+    let fcfs = FcfsDiscipline::factory();
+    let wfq = WfqDiscipline::factory();
+    let cases: Vec<(&str, &lit_net::DisciplineFactory<'_>)> =
+        vec![("leave-in-time", &lit), ("fcfs", &fcfs), ("wfq", &wfq)];
+    for (name, factory) in cases {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut net = build(factory);
+                net.run_until(Time::from_secs(5));
+                black_box(net.node_stats(NodeId(0)).transmitted)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(end_to_end, mix, cross, disciplines);
+criterion_main!(end_to_end);

@@ -1,0 +1,46 @@
+//! # lit-bench — Criterion benchmarks
+//!
+//! Performance characterization of the implementation (the paper's
+//! figures measure *simulated* service quality; these measure the
+//! *simulator and scheduler* themselves):
+//!
+//! * `sched_ops` — per-packet scheduling cost of each discipline;
+//! * `event_queue` — future-event-set throughput;
+//! * `end_to_end` — whole-network simulation rate (simulated seconds per
+//!   wall second) for the paper's MIX/CROSS configurations;
+//! * `admission` — AC1/AC2's O(P) tests vs AC3's exponential subset test;
+//! * `analysis` — M/D/1 evaluation and histogram cost.
+//!
+//! Helpers shared by the bench targets live here.
+
+#![forbid(unsafe_code)]
+
+use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, SessionId, SessionSpec};
+use lit_sim::Time;
+
+/// Register `n` sessions with rates spread across a T1 link.
+pub fn register_sessions(d: &mut dyn Discipline, n: u32) {
+    for i in 0..n {
+        let rate = 1_536_000 / u64::from(n.max(1)) - u64::from(i % 7) * 8;
+        let spec = SessionSpec::atm(SessionId(i), rate.max(8_000));
+        d.register_session(&spec, &DelayAssignment::LenOverRate);
+    }
+}
+
+/// Drive `packets` arrivals/departures round-robin over `sessions`
+/// registered sessions; returns a checksum so the work is not optimized
+/// away.
+pub fn drive_discipline(d: &mut dyn Discipline, sessions: u32, packets: u64) -> u128 {
+    let mut sum = 0u128;
+    let link = LinkParams::paper_t1();
+    for i in 0..packets {
+        let sid = SessionId((i % u64::from(sessions)) as u32);
+        let now = Time::from_us(i * 50);
+        let mut pkt = Packet::new(sid, i / u64::from(sessions) + 1, 424, now);
+        let dec = d.on_arrival(&mut pkt, now);
+        sum ^= dec.key;
+        d.on_departure(&mut pkt, now.max(dec.eligible) + link.lmax_time());
+        sum = sum.wrapping_add(pkt.hold.as_ps() as u128);
+    }
+    sum
+}

@@ -1,0 +1,40 @@
+//! # lit-core — the Leave-in-Time service discipline
+//!
+//! The paper's contribution (Figueira & Pasquale, SIGCOMM '95), complete:
+//!
+//! * [`ReferenceServer`] — the per-session fixed-rate FCFS server every
+//!   guarantee is expressed against (eq. 1);
+//! * [`LitDiscipline`] — the scheduler: delay regulators (eq. 6–9),
+//!   split deadline/rate clocks `F`/`K` (eq. 10–11), deadline-ordered
+//!   service, and the holding-time header stamp for the next hop;
+//! * [`ClassedAdmission`] (procedures 1 and 2) and [`Ac3Admission`]
+//!   (procedure 3) — the delay-shifting admission control framework;
+//! * [`ConnectionManager`] — all-or-nothing end-to-end establishment with
+//!   rollback, per the paper's "satisfied in all the nodes along the
+//!   session's route";
+//! * [`PathBounds`] — the service commitments as executable formulas:
+//!   end-to-end delay (ineq. 12/15), delay distribution (ineq. 16), delay
+//!   jitter (ineq. 17), and per-node buffer space.
+//!
+//! The discipline plugs into a `lit-net` [`lit_net::NetworkBuilder`] via
+//! [`LitDiscipline::factory`]. Special case worth knowing: **one admission
+//! class + `d = L/r` + no jitter control ≡ VirtualClock**, and then the
+//! token-bucket delay bound equals the PGPS/WFQ bound.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod bounds;
+mod connection;
+mod discipline;
+mod refserver;
+
+pub use admission::{
+    Ac3Admission, Ac3Error, AdmissionError, ClassedAdmission, ConfigError, DRule, DelayClass,
+    Procedure, SessionRequest,
+};
+pub use bounds::{as_time, stop_and_go_comparison, HopSpec, PathBounds};
+pub use connection::{Connection, ConnectionManager, EstablishError};
+pub use discipline::LitDiscipline;
+pub use refserver::{RefOutcome, ReferenceServer};

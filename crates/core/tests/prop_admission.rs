@@ -1,0 +1,142 @@
+//! Property tests: the admission-control procedures keep their invariants
+//! under arbitrary admit/release interleavings.
+
+use lit_core::{ClassedAdmission, ConnectionManager, DRule, DelayClass, Procedure, SessionRequest};
+use lit_net::DelayAssignment;
+use lit_sim::Duration;
+use proptest::prelude::*;
+
+/// A random-but-valid class ladder over a 10 Mbit/s link.
+fn arb_classes() -> impl Strategy<Value = Vec<DelayClass>> {
+    prop::collection::vec((1u64..=100, 1u64..=50_000), 1..5).prop_map(|raw| {
+        let link = 10_000_000u64;
+        let mut bw = 0u64;
+        let mut sigma = 0u64;
+        let mut classes: Vec<DelayClass> = raw
+            .iter()
+            .map(|&(b, s)| {
+                bw = (bw + b * link / 100).min(link);
+                sigma += s;
+                DelayClass {
+                    max_bandwidth_bps: bw,
+                    base_delay: Duration::from_us(sigma),
+                }
+            })
+            .collect();
+        classes.last_mut().unwrap().max_bandwidth_bps = link;
+        classes
+    })
+}
+
+proptest! {
+    /// After any sequence of *accepted* admissions, the paper's tests
+    /// (1.1) and (1.2)/(2.2) hold on the final state — re-derived here
+    /// from scratch.
+    #[test]
+    fn accepted_state_always_satisfies_the_tests(
+        classes in arb_classes(),
+        procedure in prop_oneof![Just(Procedure::Proc1), Just(Procedure::Proc2)],
+        reqs in prop::collection::vec((0usize..5, 10_000u64..2_000_000, 100u32..2_000), 1..40),
+    ) {
+        let link = 10_000_000u64;
+        let p = classes.len();
+        let mut ac = ClassedAdmission::new(procedure, link, classes.clone()).unwrap();
+        // Shadow bookkeeping of accepted sessions.
+        let mut rate_in = vec![0u64; p];
+        let mut bits_in = vec![0u64; p];
+        for (class_raw, rate, len) in reqs {
+            let class = class_raw % p;
+            let req = SessionRequest::new(rate, len);
+            if ac.try_admit(class, &req, DRule::PerSessionMax).is_ok() {
+                rate_in[class] += rate;
+                bits_in[class] += len as u64;
+            }
+        }
+        // Re-derive test (1.1) for every m.
+        let mut cum_rate = 0u64;
+        for m in 0..p {
+            cum_rate += rate_in[m];
+            prop_assert!(
+                cum_rate <= classes[m].max_bandwidth_bps,
+                "test 1.1 violated at class {m}"
+            );
+        }
+        // Re-derive the base-delay test: (1.2) up to P−1, (2.2) up to P.
+        let last = match procedure {
+            Procedure::Proc1 => p.saturating_sub(1),
+            Procedure::Proc2 => p,
+        };
+        let mut cum_bits = 0u64;
+        for m in 0..last {
+            cum_bits += bits_in[m];
+            let needed = Duration::from_bits_at_rate(cum_bits, link);
+            prop_assert!(
+                needed <= classes[m].base_delay,
+                "base-delay test violated at class {m}: {needed} > {}",
+                classes[m].base_delay
+            );
+        }
+    }
+
+    /// The granted d is always at least the class's structural minimum
+    /// and increases (weakly) with the class index.
+    #[test]
+    fn granted_d_is_monotone_in_class(
+        classes in arb_classes(),
+        rate in 10_000u64..2_000_000,
+        len in 100u32..2_000,
+    ) {
+        for procedure in [Procedure::Proc1, Procedure::Proc2] {
+            let ac = ClassedAdmission::new(procedure, 10_000_000, classes.clone()).unwrap();
+            let req = SessionRequest::new(rate, len);
+            let mut prev: Option<Duration> = None;
+            for class in 0..classes.len() {
+                let a = ac.d_assignment(class, &req, DRule::PerSessionMax);
+                let d = match a {
+                    DelayAssignment::Fixed(d) => d,
+                    _ => unreachable!("PerSessionMax grants Fixed"),
+                };
+                if let Some(p) = prev {
+                    prop_assert!(d >= p, "d not monotone across classes");
+                }
+                prev = Some(d);
+            }
+        }
+    }
+
+    /// Establish/teardown through the ConnectionManager never leaks or
+    /// double-frees capacity, for arbitrary route/rate mixes.
+    #[test]
+    fn connection_manager_conserves_capacity(
+        script in prop::collection::vec((0usize..5, 0usize..5, 10_000u64..800_000), 1..60),
+    ) {
+        let mut cm = ConnectionManager::one_class(5, 1_536_000);
+        let mut live = Vec::new();
+        let mut shadow = [0u64; 5]; // committed rate per node
+        for (a, b, rate) in script {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let route: Vec<usize> = (lo..=hi).collect();
+            let req = SessionRequest::new(rate, 424);
+            match cm.establish(&route, 0, req, DRule::PerPacket) {
+                Ok(c) => {
+                    for &n in &c.route {
+                        shadow[n] += rate;
+                    }
+                    live.push(c);
+                }
+                Err(_) => {
+                    if let Some(c) = live.pop() {
+                        for &n in &c.route {
+                            shadow[n] -= c.request.rate_bps;
+                        }
+                        cm.teardown(&c);
+                    }
+                }
+            }
+            for (n, &committed) in shadow.iter().enumerate() {
+                prop_assert_eq!(cm.node(n).admitted_rate_bps(), committed);
+                prop_assert!(committed <= 1_536_000);
+            }
+        }
+    }
+}

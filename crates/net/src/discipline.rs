@@ -1,0 +1,91 @@
+//! The service-discipline interface every scheduler implements.
+//!
+//! A [`Discipline`] instance is created *per node* and sees three moments
+//! in each packet's life at that node:
+//!
+//! 1. **arrival** of the packet's last bit — the discipline decides when
+//!    the packet becomes *eligible* (it may be held in a delay regulator
+//!    until then) and with what *priority key* it will compete for the
+//!    link once eligible;
+//! 2. **departure** (last bit transmitted) — the discipline may stamp
+//!    header fields consumed by the next hop (Leave-in-Time stamps the
+//!    holding time `A`, eq. 9);
+//! 3. **registration** at connection-establishment time, where it learns
+//!    the session's reserved rate and service parameters.
+//!
+//! The node machinery (in [`crate::Network`]) owns the regulator timers and
+//! the eligible queue; the discipline owns only per-session scheduling
+//! state. Eligible packets are served in increasing key order, ties broken
+//! FIFO — the paper's "ties are ordered arbitrarily" made deterministic.
+
+use crate::packet::Packet;
+use crate::spec::{DelayAssignment, LinkParams, SessionSpec};
+use lit_sim::Time;
+
+/// The discipline's verdict on an arriving packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleDecision {
+    /// When the packet may join the transmission queue (`Eⁿ_{i,s}`).
+    /// Must be `≥` the arrival time.
+    pub eligible: Time,
+    /// Priority key: eligible packets are served in increasing key order.
+    /// Time-based disciplines use picoseconds; virtual-time disciplines
+    /// use any monotone encoding of their virtual stamp.
+    pub key: u128,
+}
+
+impl ScheduleDecision {
+    /// A decision keyed directly by a deadline instant.
+    pub fn at(eligible: Time, deadline: Time) -> Self {
+        ScheduleDecision {
+            eligible,
+            key: deadline.as_ps() as u128,
+        }
+    }
+}
+
+/// A per-node packet scheduler.
+pub trait Discipline {
+    /// Human-readable name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Connection establishment: a session with the given spec will
+    /// traverse this node, using `delay` as its per-hop delay assignment
+    /// here. Called once per session before any of its packets arrive.
+    fn register_session(&mut self, spec: &SessionSpec, delay: &DelayAssignment);
+
+    /// A packet's last bit arrived at `now`. Returns eligibility and
+    /// priority; may write `pkt.deadline` / `pkt.d` scratch fields.
+    ///
+    /// Packets of one session arrive in sequence order (links and the
+    /// per-session regulator are FIFO), so per-session recursions like
+    /// eq. (10)–(11) may be advanced here.
+    fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision;
+
+    /// The packet began transmission at `now`. Optional hook; disciplines
+    /// that define a virtual time by the packet in service (e.g. SCFQ)
+    /// use it.
+    fn on_service_start(&mut self, _pkt: &Packet, _now: Time) {}
+
+    /// The packet's last bit left the node at `finish`. The discipline may
+    /// stamp `pkt.hold` for the next hop.
+    fn on_departure(&mut self, pkt: &mut Packet, finish: Time);
+}
+
+/// Creates one discipline instance per node.
+///
+/// The factory receives the node's outgoing-link parameters, which most
+/// disciplines need (e.g. `L_MAX/Cₙ` in Leave-in-Time's holding times).
+pub type DisciplineFactory<'a> = dyn Fn(&LinkParams) -> Box<dyn Discipline> + 'a;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_key_encodes_deadline() {
+        let d = ScheduleDecision::at(Time::from_ms(1), Time::from_ms(5));
+        assert_eq!(d.eligible, Time::from_ms(1));
+        assert_eq!(d.key, Time::from_ms(5).as_ps() as u128);
+    }
+}

@@ -1,0 +1,198 @@
+//! The per-node eligible-packet queue, exact or approximate.
+//!
+//! The paper notes that Leave-in-Time "uses an approximate sorted priority
+//! queue algorithm which runs in O(1) time with a small cost in emulation
+//! error". [`EligibleQueue`] makes that trade-off explicit and selectable:
+//!
+//! * [`QueueKind::Exact`] — a binary heap ordered by `(key, arrival seq)`:
+//!   exact deadline order, `O(log n)` per operation (the default);
+//! * [`QueueKind::Bucketed`] — deadlines quantized into buckets of a fixed
+//!   width, FIFO within a bucket: two packets whose deadlines differ by
+//!   less than one bucket may be served in arrival order instead of
+//!   deadline order, so the *emulation error* — extra lateness versus the
+//!   exact scheduler — is bounded by the bucket width. Operations cost
+//!   `O(log B)` in the number of non-empty buckets (a ring-array calendar
+//!   queue would make this `O(1)`; the bound on the error is identical).
+//!
+//! The `ablation-queue` command of `lit-repro` measures both the error and
+//! the cost on the paper's workloads.
+
+use crate::packet::Packet;
+use lit_sim::Duration;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Which eligible-queue implementation a node uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Exact deadline order (binary heap).
+    #[default]
+    Exact,
+    /// Bucketed approximate order; emulation error < the bucket width.
+    Bucketed {
+        /// Bucket width (quantization of the priority key, which for
+        /// time-keyed disciplines is picoseconds).
+        bucket: Duration,
+    },
+}
+
+/// An entry of the exact heap.
+pub(crate) struct HeapEntry {
+    key: u128,
+    seq: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for min-heap behaviour, FIFO among equal keys.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The eligible queue of one node.
+pub(crate) enum EligibleQueue {
+    Exact {
+        heap: BinaryHeap<HeapEntry>,
+        seq: u64,
+    },
+    Bucketed {
+        bucket_ps: u128,
+        buckets: BTreeMap<u128, VecDeque<Packet>>,
+        len: usize,
+    },
+}
+
+impl EligibleQueue {
+    pub(crate) fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Exact => EligibleQueue::Exact {
+                heap: BinaryHeap::new(),
+                seq: 0,
+            },
+            QueueKind::Bucketed { bucket } => {
+                assert!(bucket > Duration::ZERO, "bucketed queue: zero width");
+                EligibleQueue::Bucketed {
+                    bucket_ps: bucket.as_ps() as u128,
+                    buckets: BTreeMap::new(),
+                    len: 0,
+                }
+            }
+        }
+    }
+
+    pub(crate) fn push(&mut self, key: u128, pkt: Packet) {
+        match self {
+            EligibleQueue::Exact { heap, seq } => {
+                let s = *seq;
+                *seq += 1;
+                heap.push(HeapEntry { key, seq: s, pkt });
+            }
+            EligibleQueue::Bucketed {
+                bucket_ps,
+                buckets,
+                len,
+            } => {
+                buckets.entry(key / *bucket_ps).or_default().push_back(pkt);
+                *len += 1;
+            }
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Packet> {
+        match self {
+            EligibleQueue::Exact { heap, .. } => heap.pop().map(|e| e.pkt),
+            EligibleQueue::Bucketed { buckets, len, .. } => {
+                let mut entry = buckets.first_entry()?;
+                let pkt = entry.get_mut().pop_front()?;
+                if entry.get().is_empty() {
+                    entry.remove();
+                }
+                *len -= 1;
+                Some(pkt)
+            }
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            EligibleQueue::Exact { heap, .. } => heap.is_empty(),
+            EligibleQueue::Bucketed { len, .. } => *len == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::SessionId;
+    use lit_sim::Time;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet::new(SessionId(0), seq, 424, Time::ZERO)
+    }
+
+    #[test]
+    fn exact_orders_by_key_then_fifo() {
+        let mut q = EligibleQueue::new(QueueKind::Exact);
+        q.push(30, pkt(1));
+        q.push(10, pkt(2));
+        q.push(10, pkt(3));
+        q.push(20, pkt(4));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|p| p.seq).collect();
+        assert_eq!(order, vec![2, 3, 4, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucketed_is_fifo_within_bucket() {
+        let w = Duration::from_ms(1);
+        let mut q = EligibleQueue::new(QueueKind::Bucketed { bucket: w });
+        // Keys 0.4 ms and 0.9 ms share bucket 0: FIFO wins over key order.
+        q.push(Duration::from_us(900).as_ps() as u128, pkt(1));
+        q.push(Duration::from_us(400).as_ps() as u128, pkt(2));
+        // 1.5 ms lands in bucket 1.
+        q.push(Duration::from_us(1_500).as_ps() as u128, pkt(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|p| p.seq).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bucketed_error_is_below_one_bucket() {
+        // Any inversion the bucketed queue produces involves keys within
+        // one bucket width of each other.
+        let w = Duration::from_us(500);
+        let mut q = EligibleQueue::new(QueueKind::Bucketed { bucket: w });
+        let keys = [7u64, 3, 9, 1, 5, 2, 8, 4, 6, 0];
+        for (i, &k) in keys.iter().enumerate() {
+            let mut p = pkt(i as u64);
+            p.deadline = Time::from_us(k * 100);
+            q.push((k * 100_000_000) as u128, p);
+        }
+        let mut popped = Vec::new();
+        while let Some(p) = q.pop() {
+            popped.push(p.deadline);
+        }
+        for (i, a) in popped.iter().enumerate() {
+            for b in &popped[i + 1..] {
+                if a > b {
+                    assert!(*a - *b < w, "inversion of {} over {}", a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The network: nodes in a topology, sessions on routes, and the
+//! discrete-event executor that moves packets through them.
+//!
+//! Model (paper §2–3): each server node owns one outgoing link of capacity
+//! `Cₙ` and propagation delay `Γₙ`; a session follows a fixed route of
+//! nodes established at connection time; a packet "arrives" at a node when
+//! its **last bit** arrives; the node may hold it in a delay regulator
+//! until its eligibility time, then serves eligible packets in increasing
+//! priority-key order (non-preemptively, one at a time); the last bit
+//! leaves at the finish time and reaches the next node one propagation
+//! delay later. Delivery past the final node includes that link's
+//! propagation delay, matching the `Σ (L_MAX/Cₙ + Γₙ)` structure of the
+//! paper's β constant.
+
+use crate::discipline::{Discipline, DisciplineFactory};
+use crate::equeue::{EligibleQueue, QueueKind};
+use crate::packet::{NodeId, Packet, SessionId};
+use crate::spec::{DelayAssignment, LinkParams, SessionSpec};
+use crate::stats::{DeliveryRecord, NodeStats, SessionStats, StatsConfig};
+use lit_sim::{Duration, EventQueue, SeedSeq, SimRng, Time};
+use lit_traffic::{Emission, Source};
+/// Runtime state of one server node.
+struct NodeRt {
+    link: LinkParams,
+    discipline: Box<dyn Discipline>,
+    queue: EligibleQueue,
+    /// The packet currently being transmitted, if any.
+    current: Option<Packet>,
+}
+
+/// Runtime state of one session.
+struct SessionRt {
+    spec: SessionSpec,
+    /// `(node index, delay assignment at that node)` along the route.
+    hops: Vec<(u32, DelayAssignment)>,
+    source: Box<dyn Source>,
+    rng: SimRng,
+    next_seq: u64,
+    /// Next emission already pulled from the source, awaiting injection.
+    pending: Option<Emission>,
+    /// Reference-server clock `W_{i-1,s}` (eq. 1); `None` before packet 1.
+    ref_w: Option<Time>,
+}
+
+/// Events of the executor.
+enum Event {
+    /// Inject the pending emission of session `sid` (arrival at hop 0).
+    Inject { sid: u32 },
+    /// A packet's last bit arrives at its current hop's node.
+    Arrive { pkt: Packet },
+    /// A regulated packet becomes eligible at its node.
+    Eligible { pkt: Packet, key: u128 },
+    /// The node finished transmitting its current packet.
+    TxDone { node: u32 },
+}
+
+/// A session definition awaiting `build`.
+struct SessionDef {
+    spec: SessionSpec,
+    hops: Vec<(u32, DelayAssignment)>,
+    source: Box<dyn Source>,
+}
+
+/// Builds a [`Network`]: add nodes, add sessions on routes, then `build`
+/// with a discipline factory.
+pub struct NetworkBuilder {
+    links: Vec<LinkParams>,
+    sessions: Vec<SessionDef>,
+    stats_cfg: StatsConfig,
+    master_seed: u64,
+    queue_kind: QueueKind,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkBuilder {
+    /// An empty network with seed 0 and default statistics sizing.
+    pub fn new() -> Self {
+        NetworkBuilder {
+            links: Vec::new(),
+            sessions: Vec::new(),
+            stats_cfg: StatsConfig::default(),
+            master_seed: 0,
+            queue_kind: QueueKind::Exact,
+        }
+    }
+
+    /// Select the eligible-queue implementation used by every node
+    /// (default: exact deadline order). See [`QueueKind`].
+    pub fn queue_kind(mut self, kind: QueueKind) -> Self {
+        self.queue_kind = kind;
+        self
+    }
+
+    /// Set the master seed from which every session's RNG stream derives.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Override statistics sizing.
+    pub fn stats(mut self, cfg: StatsConfig) -> Self {
+        self.stats_cfg = cfg;
+        self
+    }
+
+    /// Add a server node with the given outgoing link; returns its id.
+    pub fn add_node(&mut self, link: LinkParams) -> NodeId {
+        let id = NodeId(self.links.len() as u32);
+        self.links.push(link);
+        id
+    }
+
+    /// Add `n` nodes in tandem with identical links (the paper's Figure 6
+    /// topology is `tandem(5, LinkParams::paper_t1())`).
+    pub fn tandem(&mut self, n: usize, link: LinkParams) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node(link)).collect()
+    }
+
+    /// Add a session traversing `route`, fed by `source`, using the
+    /// spec's default delay assignment at every hop. Returns the assigned
+    /// session id (the spec's `id` field is overwritten).
+    pub fn add_session(
+        &mut self,
+        spec: SessionSpec,
+        route: &[NodeId],
+        source: Box<dyn Source>,
+    ) -> SessionId {
+        let hops = route.iter().map(|n| (n.0, spec.delay)).collect();
+        self.add_session_with_hops(spec, hops, source)
+    }
+
+    /// Add a session with an explicit per-hop delay assignment (delay
+    /// shifting can differ node by node).
+    ///
+    /// # Panics
+    /// Panics on an empty route or an unknown node id.
+    pub fn add_session_with_hops(
+        &mut self,
+        mut spec: SessionSpec,
+        hops: Vec<(u32, DelayAssignment)>,
+        source: Box<dyn Source>,
+    ) -> SessionId {
+        assert!(!hops.is_empty(), "session route is empty");
+        for &(n, _) in &hops {
+            assert!(
+                (n as usize) < self.links.len(),
+                "route references unknown node {n}"
+            );
+        }
+        let id = SessionId(self.sessions.len() as u32);
+        spec.id = id;
+        self.sessions.push(SessionDef { spec, hops, source });
+        id
+    }
+
+    /// Instantiate the network, creating one discipline per node and
+    /// registering every session at every node it traverses.
+    pub fn build(self, factory: &DisciplineFactory<'_>) -> Network {
+        let mut nodes: Vec<NodeRt> = self
+            .links
+            .iter()
+            .map(|link| NodeRt {
+                link: *link,
+                discipline: factory(link),
+                queue: EligibleQueue::new(self.queue_kind),
+                current: None,
+            })
+            .collect();
+
+        let mut seeds = SeedSeq::new(self.master_seed);
+        let mut events = EventQueue::new();
+        let mut session_stats = Vec::with_capacity(self.sessions.len());
+        let mut sessions: Vec<SessionRt> = Vec::with_capacity(self.sessions.len());
+
+        for (i, def) in self.sessions.into_iter().enumerate() {
+            for (n, delay) in &def.hops {
+                nodes[*n as usize]
+                    .discipline
+                    .register_session(&def.spec, delay);
+            }
+            session_stats.push(SessionStats::new(&self.stats_cfg, def.hops.len()));
+            let mut rt = SessionRt {
+                spec: def.spec,
+                hops: def.hops,
+                source: def.source,
+                rng: seeds.next_rng(),
+                next_seq: 1, // the paper numbers packets from 1
+                pending: None,
+                ref_w: None,
+            };
+            rt.pending = rt.source.next_emission(&mut rt.rng);
+            if let Some(e) = rt.pending {
+                events.push(e.at, Event::Inject { sid: i as u32 });
+            }
+            sessions.push(rt);
+        }
+
+        Network {
+            nodes,
+            sessions,
+            events,
+            now: Time::ZERO,
+            node_stats: (0..self.links.len()).map(|_| NodeStats::new()).collect(),
+            session_stats,
+        }
+    }
+}
+
+/// A running simulation: topology + sessions + future-event set +
+/// accumulated statistics.
+pub struct Network {
+    nodes: Vec<NodeRt>,
+    sessions: Vec<SessionRt>,
+    events: EventQueue<Event>,
+    now: Time,
+    node_stats: Vec<NodeStats>,
+    session_stats: Vec<SessionStats>,
+}
+
+impl Network {
+    /// Advance the simulation until no event at or before `until` remains.
+    /// May be called repeatedly with growing horizons.
+    pub fn run_until(&mut self, until: Time) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked event vanished");
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Statistics of one session.
+    pub fn session_stats(&self, id: SessionId) -> &SessionStats {
+        &self.session_stats[id.index()]
+    }
+
+    /// Statistics of one node.
+    pub fn node_stats(&self, id: NodeId) -> &NodeStats {
+        &self.node_stats[id.index()]
+    }
+
+    /// The spec a session was registered with.
+    pub fn session_spec(&self, id: SessionId) -> &SessionSpec {
+        &self.sessions[id.index()].spec
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The per-hop delay assignments of a session (node index, assignment).
+    pub fn session_hops(&self, id: SessionId) -> &[(u32, DelayAssignment)] {
+        &self.sessions[id.index()].hops
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Inject { sid } => self.inject(sid),
+            Event::Arrive { pkt } => self.arrive(pkt),
+            Event::Eligible { pkt, key } => {
+                let node = self.sessions[pkt.session.index()].hops[pkt.hop as usize].0;
+                self.enqueue_eligible(node, pkt, key);
+            }
+            Event::TxDone { node } => self.tx_done(node),
+        }
+    }
+
+    /// Materialize the pending emission of `sid` as a packet at hop 0 and
+    /// pull/schedule the next one.
+    fn inject(&mut self, sid: u32) {
+        let s = &mut self.sessions[sid as usize];
+        let e = s.pending.take().expect("Inject without pending emission");
+        debug_assert_eq!(e.at, self.now);
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        let mut pkt = Packet::new(s.spec.id, seq, e.len_bits, e.at);
+
+        // Reference-server co-simulation (eq. 1): W_i = max(t_i, W_{i-1})
+        // + L_i/r, with W_0 = t_1.
+        let service = Duration::from_bits_at_rate(e.len_bits as u64, s.spec.rate_bps);
+        let w_prev = s.ref_w.unwrap_or(e.at);
+        let w = e.at.max(w_prev) + service;
+        s.ref_w = Some(w);
+
+        // Pull the next emission before we lose the borrow.
+        s.pending = s.source.next_emission(&mut s.rng);
+        if let Some(next) = s.pending {
+            debug_assert!(next.at >= e.at, "source emitted into the past");
+            self.events.push(next.at, Event::Inject { sid });
+        }
+
+        pkt.ref_delay = w - e.at;
+        let st = &mut self.session_stats[sid as usize];
+        st.injected += 1;
+        st.reference.record(pkt.ref_delay);
+
+        self.arrive(pkt);
+    }
+
+    /// A packet's last bit arrives at its current hop.
+    fn arrive(&mut self, mut pkt: Packet) {
+        let sid = pkt.session.index();
+        let hop = pkt.hop as usize;
+        let node_idx = self.sessions[sid].hops[hop].0 as usize;
+        pkt.arrived = self.now;
+
+        // Buffer occupancy, sampled as the paper does: at last-bit arrival,
+        // counting the arriving packet and any packet in transmission.
+        let st = &mut self.session_stats[sid];
+        st.occupancy_bits[hop] += pkt.len_bits as u64;
+        let occ = st.occupancy_bits[hop];
+        st.buffer[hop].record(occ);
+
+        let node = &mut self.nodes[node_idx];
+        let decision = node.discipline.on_arrival(&mut pkt, self.now);
+        debug_assert!(
+            decision.eligible >= self.now,
+            "discipline produced an eligibility time in the past"
+        );
+        if decision.eligible > self.now {
+            self.events.push(
+                decision.eligible,
+                Event::Eligible {
+                    pkt,
+                    key: decision.key,
+                },
+            );
+        } else {
+            self.enqueue_eligible(node_idx as u32, pkt, decision.key);
+        }
+    }
+
+    /// Put an eligible packet in the node's transmission queue and start
+    /// the link if idle.
+    fn enqueue_eligible(&mut self, node_idx: u32, pkt: Packet, key: u128) {
+        let node = &mut self.nodes[node_idx as usize];
+        node.queue.push(key, pkt);
+        if node.current.is_none() {
+            self.start_tx(node_idx);
+        }
+    }
+
+    /// Begin transmitting the highest-priority eligible packet.
+    fn start_tx(&mut self, node_idx: u32) {
+        let node = &mut self.nodes[node_idx as usize];
+        debug_assert!(node.current.is_none(), "link already busy");
+        let Some(pkt) = node.queue.pop() else {
+            return;
+        };
+        let tx = node.link.tx_time(pkt.len_bits);
+        node.discipline.on_service_start(&pkt, self.now);
+        node.current = Some(pkt);
+        self.node_stats[node_idx as usize].busy.set_busy(self.now);
+        self.events
+            .push(self.now + tx, Event::TxDone { node: node_idx });
+    }
+
+    /// The node's current packet finished transmission.
+    fn tx_done(&mut self, node_idx: u32) {
+        let node = &mut self.nodes[node_idx as usize];
+        let mut pkt = node.current.take().expect("TxDone with idle link");
+        let finish = self.now;
+        node.discipline.on_departure(&mut pkt, finish);
+        let propagation = node.link.propagation;
+
+        // Node accounting.
+        let nst = &mut self.node_stats[node_idx as usize];
+        nst.transmitted += 1;
+        nst.bits_transmitted += pkt.len_bits as u64;
+        let lateness = finish.as_ps() as i128 - pkt.deadline.as_ps() as i128;
+        nst.max_lateness_ps = nst.max_lateness_ps.max(lateness);
+
+        // Session accounting: the packet no longer occupies this node.
+        let sid = pkt.session.index();
+        let hop = pkt.hop as usize;
+        let st = &mut self.session_stats[sid];
+        st.occupancy_bits[hop] -= pkt.len_bits as u64;
+
+        let hops = self.sessions[sid].hops.len();
+        if hop + 1 < hops {
+            pkt.hop += 1;
+            self.events
+                .push(finish + propagation, Event::Arrive { pkt });
+        } else {
+            // Delivered: end-to-end delay includes the last link's
+            // propagation, matching β's Σ(L_MAX/Cₙ + Γₙ) over n = 1..N.
+            let delivery = finish + propagation;
+            st.delivered += 1;
+            let delay = delivery - pkt.created;
+            st.e2e.record(delay);
+            st.delay_batches.record(delay.as_secs_f64());
+            let excess = delay.as_ps() as i128 - pkt.ref_delay.as_ps() as i128;
+            st.max_excess_ps = st.max_excess_ps.max(excess);
+            st.log_delivery(DeliveryRecord {
+                seq: pkt.seq,
+                created: pkt.created,
+                delivered: delivery,
+                ref_delay: pkt.ref_delay,
+            });
+        }
+
+        // Keep the link busy if more eligible work is queued.
+        let node = &mut self.nodes[node_idx as usize];
+        if node.queue.is_empty() {
+            self.node_stats[node_idx as usize].busy.set_idle(self.now);
+        } else {
+            self.start_tx(node_idx);
+        }
+    }
+}
+
+impl Network {
+    /// The outgoing-link parameters of a node.
+    pub fn node_link(&self, id: NodeId) -> &LinkParams {
+        &self.nodes[id.index()].link
+    }
+}

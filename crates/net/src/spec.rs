@@ -1,0 +1,218 @@
+//! Session and link parameterization shared by every discipline.
+
+use crate::packet::SessionId;
+use lit_sim::{Duration, PS_PER_SEC};
+
+/// Parameters of a node's outgoing link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Link capacity `Cₙ` in bits per second.
+    pub rate_bps: u64,
+    /// Propagation delay `Γₙ` of the outgoing link.
+    pub propagation: Duration,
+    /// The largest packet length allowed anywhere in the network,
+    /// `L_MAX`, in bits. Enters the holding-time computation (eq. 9) and
+    /// every bound.
+    pub lmax_bits: u32,
+}
+
+impl LinkParams {
+    /// The paper's link: T1 capacity (1536 kbit/s), 1 ms propagation
+    /// (≈ 200 km of fiber), 424-bit maximum packet.
+    pub fn paper_t1() -> Self {
+        LinkParams {
+            rate_bps: 1_536_000,
+            propagation: Duration::from_ms(1),
+            lmax_bits: 424,
+        }
+    }
+
+    /// Transmission time of an `len_bits`-bit packet on this link.
+    pub fn tx_time(&self, len_bits: u32) -> Duration {
+        Duration::from_bits_at_rate(len_bits as u64, self.rate_bps)
+    }
+
+    /// `L_MAX / Cₙ` — the worst-case transmission time on this link.
+    pub fn lmax_time(&self) -> Duration {
+        self.tx_time(self.lmax_bits)
+    }
+}
+
+/// How the per-hop delay increment `d_{i,s}` is assigned for a session at
+/// a node (the paper's "second generalization", eq. 4–5 and §2 "The
+/// Admission Control Procedures").
+///
+/// The admission control procedures in `lit-core` produce values of this
+/// type; the enum itself lives here so that the network substrate stays
+/// independent of any particular discipline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayAssignment {
+    /// `d_{i,s} = L_{i,s} / r_s` — the VirtualClock special case
+    /// (admission control procedure 1 with one class and ε = 0).
+    LenOverRate,
+    /// `d_{i,s} = L_{i,s} · num/den + base` with `num/den` in seconds per
+    /// bit — rules (1.3) and (2.3), where `num = R` and `den = r·C`.
+    Linear {
+        /// Numerator of the per-bit slope (a bandwidth, bit/s).
+        num: u64,
+        /// Denominator of the per-bit slope (a product of bandwidths,
+        /// bit²/s²).
+        den: u128,
+        /// Constant offset (`σ` of the class, plus any ε).
+        base: Duration,
+    },
+    /// `d_{i,s} = d` — a packet-length-independent constant (rules (1.3a),
+    /// (2.3a), and admission control procedure 3).
+    Fixed(Duration),
+}
+
+impl DelayAssignment {
+    /// The delay increment for a packet of `len_bits` belonging to a
+    /// session with reserved rate `rate_bps`.
+    pub fn d_for(&self, len_bits: u32, rate_bps: u64) -> Duration {
+        match *self {
+            DelayAssignment::LenOverRate => Duration::from_bits_at_rate(len_bits as u64, rate_bps),
+            DelayAssignment::Linear { num, den, base } => {
+                // len · num / den seconds, computed exactly in u128 ps.
+                let num_ps = len_bits as u128 * num as u128 * PS_PER_SEC as u128;
+                let ps = (num_ps + den / 2) / den;
+                debug_assert!(ps <= u64::MAX as u128);
+                base + Duration::from_ps(ps as u64)
+            }
+            DelayAssignment::Fixed(d) => d,
+        }
+    }
+
+    /// `d_max,s` — the supremum of `d_{i,s}` over all packets of a session
+    /// with maximum length `max_len_bits` (all three forms are monotone in
+    /// the packet length).
+    pub fn d_max(&self, max_len_bits: u32, rate_bps: u64) -> Duration {
+        self.d_for(max_len_bits, rate_bps)
+    }
+}
+
+/// Everything a node needs to know about a session at connection
+/// establishment.
+#[derive(Clone, Copy, Debug)]
+pub struct SessionSpec {
+    /// Dense session identifier.
+    pub id: SessionId,
+    /// Reserved rate `r_s` in bits per second.
+    pub rate_bps: u64,
+    /// Maximum packet length `L_max,s` in bits.
+    pub max_len_bits: u32,
+    /// Minimum packet length `L_min,s` in bits (enters the per-node jitter
+    /// contribution `δⁿ_max,s`).
+    pub min_len_bits: u32,
+    /// Whether the session requests delay-jitter control (a delay
+    /// regulator at every hop past the first).
+    pub jitter_control: bool,
+    /// Default per-hop delay assignment (may be overridden hop by hop when
+    /// building the network).
+    pub delay: DelayAssignment,
+}
+
+impl SessionSpec {
+    /// A spec with the paper's fixed 424-bit packets and
+    /// `d = L/r` (VirtualClock mode), no jitter control.
+    pub fn atm(id: SessionId, rate_bps: u64) -> Self {
+        SessionSpec {
+            id,
+            rate_bps,
+            max_len_bits: 424,
+            min_len_bits: 424,
+            jitter_control: false,
+            delay: DelayAssignment::LenOverRate,
+        }
+    }
+
+    /// Builder-style: enable delay-jitter control.
+    pub fn with_jitter_control(mut self) -> Self {
+        self.jitter_control = true;
+        self
+    }
+
+    /// Builder-style: set the delay assignment.
+    pub fn with_delay(mut self, delay: DelayAssignment) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// `L_max,s / r_s` for this session.
+    pub fn len_over_rate_max(&self) -> Duration {
+        Duration::from_bits_at_rate(self.max_len_bits as u64, self.rate_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_link_times() {
+        let l = LinkParams::paper_t1();
+        // 424 bits / 1536 kbit/s ≈ 276.042 us.
+        assert_eq!(l.lmax_time().as_ps(), 276_041_667);
+        assert_eq!(l.tx_time(424), l.lmax_time());
+    }
+
+    #[test]
+    fn tx_time_scales_with_length() {
+        let l = LinkParams::paper_t1();
+        assert_eq!(l.tx_time(848), Duration::from_bits_at_rate(848, 1_536_000));
+        assert_eq!(l.tx_time(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn len_over_rate() {
+        let d = DelayAssignment::LenOverRate.d_for(424, 32_000);
+        assert_eq!(d, Duration::from_us(13_250));
+    }
+
+    #[test]
+    fn linear_matches_ac1_worked_example() {
+        // Paper §2: C = 100 Mbit/s, r = 100 kbit/s, L = 400 bits,
+        // class 1 with R1 = 10 Mbit/s, σ0 = 0 ⇒ d = L·R1/(r·C) = 0.4 ms.
+        let da = DelayAssignment::Linear {
+            num: 10_000_000,
+            den: 100_000u128 * 100_000_000u128,
+            base: Duration::ZERO,
+        };
+        assert_eq!(da.d_for(400, 100_000), Duration::from_us(400));
+    }
+
+    #[test]
+    fn linear_with_base() {
+        // Class 2 of the same example: R2 = 40 Mbit/s, σ1 = 0.2 ms
+        // ⇒ d = 400·40M/(100k·100M) + 0.2 ms = 1.6 ms + 0.2 ms = 1.8 ms.
+        let da = DelayAssignment::Linear {
+            num: 40_000_000,
+            den: 100_000u128 * 100_000_000u128,
+            base: Duration::from_us(200),
+        };
+        assert_eq!(da.d_for(400, 100_000), Duration::from_us(1_800));
+    }
+
+    #[test]
+    fn fixed_ignores_length() {
+        let da = DelayAssignment::Fixed(Duration::from_ms(5));
+        assert_eq!(da.d_for(1, 1), Duration::from_ms(5));
+        assert_eq!(da.d_max(1_000_000, 1), Duration::from_ms(5));
+    }
+
+    #[test]
+    fn d_max_uses_max_len() {
+        let da = DelayAssignment::LenOverRate;
+        assert_eq!(da.d_max(848, 32_000), Duration::from_us(26_500));
+    }
+
+    #[test]
+    fn spec_builders() {
+        let s = SessionSpec::atm(SessionId(0), 32_000)
+            .with_jitter_control()
+            .with_delay(DelayAssignment::Fixed(Duration::from_ms(2)));
+        assert!(s.jitter_control);
+        assert_eq!(s.delay, DelayAssignment::Fixed(Duration::from_ms(2)));
+        assert_eq!(s.len_over_rate_max(), Duration::from_us(13_250));
+    }
+}

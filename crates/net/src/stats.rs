@@ -1,0 +1,344 @@
+//! Per-session and per-node measurements, mirroring what the paper plots.
+//!
+//! * end-to-end delay per delivered packet (max, min, jitter = max − min,
+//!   full histogram — Figs. 7–11, 14–17);
+//! * co-simulated **reference-server** delay per packet (eq. 1) — the
+//!   "simulated upper bound" curves of Figs. 9–11 and the right-hand side
+//!   of every bound check;
+//! * per-hop buffer occupancy in bits, sampled exactly as the paper does:
+//!   "at the moment the last bit of a packet arrives at a server node",
+//!   counting the packet under transmission (Figs. 12–13);
+//! * per-node link utilization and scheduler lateness (finish − deadline),
+//!   the saturation diagnostic.
+
+use lit_analysis::{BatchMeans, BusyFraction, DurationHistogram};
+use lit_sim::{Duration, Time};
+
+/// Sizing knobs for the statistics collectors.
+#[derive(Clone, Copy, Debug)]
+pub struct StatsConfig {
+    /// Bin width of the end-to-end and reference delay histograms.
+    pub delay_bin: Duration,
+    /// Number of delay bins (delays beyond land in overflow but still
+    /// count toward max/jitter exactly).
+    pub delay_bins: usize,
+    /// Bin width, in bits, of the buffer-occupancy histograms.
+    pub buffer_bin_bits: u64,
+    /// Number of buffer bins.
+    pub buffer_bins: usize,
+    /// Keep the **last** this-many per-packet delivery records per
+    /// session (0 = off, the default). Each record is ~48 bytes; the log
+    /// is a ring, so memory is bounded regardless of run length.
+    pub delivery_log_cap: usize,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        StatsConfig {
+            delay_bin: Duration::from_us(250),
+            delay_bins: 4_000, // covers 1 s of delay
+            buffer_bin_bits: 424,
+            buffer_bins: 256,
+            delivery_log_cap: 0,
+        }
+    }
+}
+
+/// One delivered packet, as recorded by the optional delivery log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Per-session packet index (1-based, the paper's `i`).
+    pub seq: u64,
+    /// Injection instant `t¹_i`.
+    pub created: Time,
+    /// Delivery instant (past the last node, incl. final propagation).
+    pub delivered: Time,
+    /// The packet's co-simulated reference-server delay `D^ref_i`.
+    pub ref_delay: Duration,
+}
+
+impl DeliveryRecord {
+    /// End-to-end delay of this packet.
+    pub fn delay(&self) -> Duration {
+        self.delivered - self.created
+    }
+
+    /// Pathwise excess `D_i − D^ref_i` in signed picoseconds.
+    pub fn excess_ps(&self) -> i128 {
+        self.delay().as_ps() as i128 - self.ref_delay.as_ps() as i128
+    }
+}
+
+/// Histogram over buffer occupancy samples (bits), with exact maximum.
+#[derive(Clone, Debug)]
+pub struct OccupancyHistogram {
+    bin_bits: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    max_bits: u64,
+}
+
+impl OccupancyHistogram {
+    /// `nbins` bins of `bin_bits` bits each.
+    pub fn new(bin_bits: u64, nbins: usize) -> Self {
+        assert!(bin_bits > 0 && nbins > 0, "occupancy histogram: empty");
+        OccupancyHistogram {
+            bin_bits,
+            bins: vec![0; nbins],
+            overflow: 0,
+            count: 0,
+            max_bits: 0,
+        }
+    }
+
+    /// Record one occupancy sample.
+    pub fn record(&mut self, bits: u64) {
+        self.count += 1;
+        self.max_bits = self.max_bits.max(bits);
+        let idx = (bits / self.bin_bits) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact largest sample in bits.
+    pub fn max_bits(&self) -> u64 {
+        self.max_bits
+    }
+
+    /// `(bin_lower_edge_bits, fraction)` for all non-empty bins.
+    pub fn pdf(&self) -> Vec<(u64, f64)> {
+        let n = self.count.max(1) as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u64 * self.bin_bits, c as f64 / n))
+            .collect()
+    }
+
+    /// Upper estimate of `P(occupancy > bits)`: samples in the bin
+    /// containing `bits` count as exceeding it (conservative in the
+    /// direction needed when comparing against analytic upper bounds).
+    pub fn ccdf_at(&self, bits: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let idx = (bits / self.bin_bits) as usize;
+        let below: u64 = self.bins.iter().take(idx.min(self.bins.len())).sum();
+        (self.count - below) as f64 / self.count as f64
+    }
+
+    /// Empirical `P(occupancy > bits)` at each bin upper edge.
+    pub fn ccdf(&self) -> Vec<(u64, f64)> {
+        if self.count == 0 {
+            return Vec::new();
+        }
+        let n = self.count as f64;
+        let mut remaining = self.count;
+        let mut out = Vec::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            remaining -= c;
+            if c > 0 || i == 0 {
+                out.push(((i as u64 + 1) * self.bin_bits, remaining as f64 / n));
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        if self.overflow > 0 {
+            out.push((self.max_bits, 0.0));
+        }
+        out
+    }
+}
+
+/// Everything measured about one session.
+#[derive(Clone, Debug)]
+pub struct SessionStats {
+    /// Packets injected at the first node.
+    pub injected: u64,
+    /// Packets delivered past the last node (including final propagation).
+    pub delivered: u64,
+    /// End-to-end delay distribution (delivery − creation).
+    pub e2e: DurationHistogram,
+    /// Co-simulated reference-server delay distribution (eq. 1 with the
+    /// session's reserved rate, fed by the same arrivals).
+    pub reference: DurationHistogram,
+    /// Per-hop buffer occupancy distributions, one per route hop.
+    pub buffer: Vec<OccupancyHistogram>,
+    /// Current per-hop occupancy in bits (bookkeeping).
+    pub(crate) occupancy_bits: Vec<u64>,
+    /// Largest observed `D_i − D_i^ref` over delivered packets, in signed
+    /// picoseconds. The pathwise content of ineq. (12): under
+    /// Leave-in-Time this never reaches `β + α`.
+    pub max_excess_ps: i128,
+    /// Batch-means accumulator over end-to-end delays (seconds), for
+    /// autocorrelation-robust confidence intervals on the mean.
+    pub delay_batches: BatchMeans,
+    /// Ring of the most recent deliveries (empty unless
+    /// [`StatsConfig::delivery_log_cap`] > 0).
+    pub deliveries: std::collections::VecDeque<DeliveryRecord>,
+    pub(crate) delivery_cap: usize,
+}
+
+impl SessionStats {
+    pub(crate) fn new(cfg: &StatsConfig, hops: usize) -> Self {
+        SessionStats {
+            injected: 0,
+            delivered: 0,
+            e2e: DurationHistogram::new(cfg.delay_bin, cfg.delay_bins),
+            reference: DurationHistogram::new(cfg.delay_bin, cfg.delay_bins),
+            buffer: (0..hops)
+                .map(|_| OccupancyHistogram::new(cfg.buffer_bin_bits, cfg.buffer_bins))
+                .collect(),
+            occupancy_bits: vec![0; hops],
+            max_excess_ps: i128::MIN,
+            delay_batches: BatchMeans::default_config(),
+            deliveries: std::collections::VecDeque::new(),
+            delivery_cap: cfg.delivery_log_cap,
+        }
+    }
+
+    /// Append to the delivery ring (no-op when the log is off).
+    pub(crate) fn log_delivery(&mut self, rec: DeliveryRecord) {
+        if self.delivery_cap == 0 {
+            return;
+        }
+        if self.deliveries.len() == self.delivery_cap {
+            self.deliveries.pop_front();
+        }
+        self.deliveries.push_back(rec);
+    }
+
+    /// Largest observed end-to-end delay.
+    pub fn max_delay(&self) -> Option<Duration> {
+        self.e2e.max()
+    }
+
+    /// Observed end-to-end jitter: max − min delay over delivered packets
+    /// (the paper's definition of `J`).
+    pub fn jitter(&self) -> Option<Duration> {
+        self.e2e.spread()
+    }
+
+    /// Mean end-to-end delay.
+    pub fn mean_delay(&self) -> Option<Duration> {
+        self.e2e.mean()
+    }
+
+    /// Largest observed reference-server delay (the empirical
+    /// `D^ref_max`).
+    pub fn max_reference_delay(&self) -> Option<Duration> {
+        self.reference.max()
+    }
+
+    /// Largest observed `D_i − D_i^ref` (signed ps), if any packet was
+    /// delivered.
+    pub fn max_excess(&self) -> Option<i128> {
+        (self.delivered > 0).then_some(self.max_excess_ps)
+    }
+
+    /// Batch-means ~95 % confidence interval on the mean end-to-end delay
+    /// `(mean, half_width)`, if enough batches completed.
+    pub fn mean_delay_ci(&self) -> Option<(Duration, Duration)> {
+        let (m, h) = self.delay_batches.interval()?;
+        Some((Duration::from_secs_f64(m), Duration::from_secs_f64(h)))
+    }
+}
+
+/// Everything measured about one node.
+#[derive(Clone, Debug)]
+pub struct NodeStats {
+    /// Link busy-time tracker.
+    pub busy: BusyFraction,
+    /// Packets transmitted.
+    pub transmitted: u64,
+    /// Bits transmitted.
+    pub bits_transmitted: u64,
+    /// Largest observed `finish − deadline` in picoseconds (negative =
+    /// every packet beat its deadline). For deadline disciplines this is
+    /// the scheduler-saturation diagnostic: Leave-in-Time guarantees
+    /// `F̂ < F + L_MAX/C`.
+    pub max_lateness_ps: i128,
+}
+
+impl NodeStats {
+    pub(crate) fn new() -> Self {
+        NodeStats {
+            busy: BusyFraction::new(),
+            transmitted: 0,
+            bits_transmitted: 0,
+            max_lateness_ps: i128::MIN,
+        }
+    }
+
+    /// Measured utilization over `[0, now]`.
+    pub fn utilization_at(&self, now: Time) -> f64 {
+        self.busy.fraction_at(now)
+    }
+
+    /// Largest `finish − deadline`, if any packet was transmitted.
+    pub fn max_lateness(&self) -> Option<i128> {
+        (self.transmitted > 0).then_some(self.max_lateness_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_histogram_tracks_max_exactly() {
+        let mut h = OccupancyHistogram::new(424, 8);
+        h.record(0);
+        h.record(424);
+        h.record(425);
+        h.record(9_999); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max_bits(), 9_999);
+        let pdf = h.pdf();
+        assert_eq!(pdf[0], (0, 0.25)); // the single 0-bit sample
+                                       // 424 and 425 land in bin 1.
+        assert_eq!(pdf[1], (424, 0.5));
+    }
+
+    #[test]
+    fn occupancy_ccdf_monotone() {
+        let mut h = OccupancyHistogram::new(100, 50);
+        for i in 0..1000u64 {
+            h.record(i * 7 % 4000);
+        }
+        let c = h.ccdf();
+        for w in c.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(c.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn session_stats_jitter_is_spread() {
+        let cfg = StatsConfig::default();
+        let mut s = SessionStats::new(&cfg, 2);
+        s.e2e.record(Duration::from_ms(10));
+        s.e2e.record(Duration::from_ms(4));
+        s.e2e.record(Duration::from_ms(7));
+        assert_eq!(s.jitter(), Some(Duration::from_ms(6)));
+        assert_eq!(s.max_delay(), Some(Duration::from_ms(10)));
+        assert_eq!(s.buffer.len(), 2);
+    }
+
+    #[test]
+    fn node_stats_lateness_gate() {
+        let n = NodeStats::new();
+        assert_eq!(n.max_lateness(), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation: exact vs approximate (bucketed) priority queue.
+//!
+//! The paper: "Leave-in-Time uses an approximate sorted priority queue
+//! algorithm which runs in O(1) time with a small cost in emulation
+//! error". This experiment quantifies that cost on the Figure 8 workload:
+//! the same CROSS network is run with the exact deadline heap and with
+//! bucketed queues of increasing bucket width. Per-hop inversions are
+//! bounded by one bucket, so end-to-end delay/jitter may grow by at most
+//! `hops × bucket` — measured here alongside the wall-clock cost of each
+//! queue.
+
+use super::common::{build_cross_onoff_queued, max_lateness_fraction, RunConfig};
+use crate::report::{ms, Table};
+use lit_net::QueueKind;
+use lit_sim::Duration;
+
+/// Measurements for one queue configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationRow {
+    /// Bucket width; `None` = exact heap.
+    pub bucket: Option<Duration>,
+    /// Tagged no-jitter-control session: observed max delay.
+    pub max_delay: Duration,
+    /// Tagged no-jitter-control session: observed jitter.
+    pub jitter: Duration,
+    /// Tagged jitter-control session: observed jitter.
+    pub jitter_jc: Duration,
+    /// Worst scheduler lateness as a fraction of `L_MAX/C` (may exceed 1
+    /// for coarse buckets — that is the emulation error showing up).
+    pub lateness_fraction: f64,
+    /// Wall-clock seconds for the run (throughput cost of the queue).
+    pub wall_seconds: f64,
+}
+
+/// Run the ablation: exact, then bucket widths of 0.1 ms, 1 ms, and one
+/// full cell time at the session rate (13.25 ms).
+pub fn run(cfg: &RunConfig) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let cases = [
+        None,
+        Some(Duration::from_us(100)),
+        Some(Duration::from_ms(1)),
+        Some(Duration::from_us(13_250)),
+    ];
+    for bucket in cases {
+        let kind = match bucket {
+            None => QueueKind::Exact,
+            Some(b) => QueueKind::Bucketed { bucket: b },
+        };
+        let started = std::time::Instant::now();
+        let (mut net, no_jc, jc) = build_cross_onoff_queued(cfg.seed, kind);
+        net.run_until(cfg.horizon(600));
+        let wall = started.elapsed().as_secs_f64();
+        let st = net.session_stats(no_jc);
+        rows.push(AblationRow {
+            bucket,
+            max_delay: st.max_delay().unwrap_or(Duration::ZERO),
+            jitter: st.jitter().unwrap_or(Duration::ZERO),
+            jitter_jc: net.session_stats(jc).jitter().unwrap_or(Duration::ZERO),
+            lateness_fraction: max_lateness_fraction(&net),
+            wall_seconds: wall,
+        });
+    }
+    rows
+}
+
+/// Render the ablation as a table.
+pub fn table(rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        "Ablation — exact vs bucketed (approximate) priority queue, Figure 8 workload",
+        &[
+            "queue",
+            "max_delay_ms",
+            "jitter_ms",
+            "jitter_jc_ms",
+            "lateness_frac",
+            "wall_s",
+        ],
+    );
+    for r in rows {
+        t.push(vec![
+            match r.bucket {
+                None => "exact".to_string(),
+                Some(b) => format!("bucket={:.2}ms", b.as_millis_f64()),
+            },
+            ms(r.max_delay),
+            ms(r.jitter),
+            ms(r.jitter_jc),
+            format!("{:.3}", r.lateness_fraction),
+            format!("{:.2}", r.wall_seconds),
+        ]);
+    }
+    t
+}

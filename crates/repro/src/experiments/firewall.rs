@@ -1,0 +1,174 @@
+//! Extension experiment (DESIGN.md E13): the firewall property, head to
+//! head.
+//!
+//! A well-behaved five-hop ON-OFF session crosses five links; on each
+//! link a *misbehaving* session (reserved 32 kbit/s but offering ~850
+//! kbit/s in periodic 100-packet bursts) competes with it, alongside
+//! polite Poisson filler. The victim's delay is measured under FCFS,
+//! Leave-in-Time, VirtualClock, WFQ, SCFQ, Delay-EDD, Jitter-EDD and RCSP.
+//!
+//! Expected shape: FCFS lets the burster push the victim *past* the
+//! Leave-in-Time bound; every rate-based discipline keeps the victim under
+//! it (ineq. 15). Jitter-EDD's mean delay is high by design (regulators
+//! hold packets near the bound) but its jitter is tiny; RCSP's static
+//! priority gives the lowest raw delay.
+
+use super::common::{max_lateness_fraction, voice_bounds, RunConfig, T1_BPS, VOICE_BPS};
+use crate::report::{ms, Table};
+use crate::topology::{cross_routes, five_hop, paper_tandem};
+use lit_baselines::{
+    EddDiscipline, FcfsDiscipline, HrrDiscipline, RcspDiscipline, ScfqDiscipline,
+    VirtualClockDiscipline, WfqDiscipline,
+};
+use lit_core::LitDiscipline;
+use lit_net::{DisciplineFactory, LinkParams, NetworkBuilder, SessionId, SessionSpec};
+use lit_sim::{Duration, Time};
+use lit_traffic::{BurstSource, OnOffConfig, OnOffSource, PoissonSource, ATM_CELL_BITS};
+
+/// Result for one discipline.
+#[derive(Clone, Debug)]
+pub struct FirewallRow {
+    /// Discipline name.
+    pub discipline: &'static str,
+    /// Victim's observed maximum end-to-end delay.
+    pub max_delay: Duration,
+    /// Victim's observed mean delay.
+    pub mean_delay: Duration,
+    /// Victim's jitter.
+    pub jitter: Duration,
+    /// The LiT/PGPS analytic bound for the victim (only the rate-based
+    /// disciplines are expected to respect it).
+    pub lit_bound: Duration,
+    /// Scheduler lateness diagnostic (meaningful for deadline schedulers).
+    pub lateness_fraction: f64,
+}
+
+fn run_one(factory: &DisciplineFactory<'_>, name: &'static str, cfg: &RunConfig) -> FirewallRow {
+    let mut b = NetworkBuilder::new().seed(cfg.seed);
+    let nodes = paper_tandem(&mut b);
+    let victim = b.add_session(
+        SessionSpec::atm(SessionId(0), VOICE_BPS),
+        &five_hop().nodes(&nodes),
+        Box::new(OnOffSource::new(OnOffConfig::paper_voice(
+            Duration::from_ms(88),
+        ))),
+    );
+    for route in cross_routes() {
+        // The misbehaver: reserved 32 kbit/s, offered ~848 kbit/s.
+        b.add_session(
+            SessionSpec::atm(SessionId(0), VOICE_BPS),
+            &route.nodes(&nodes),
+            Box::new(BurstSource::new(Duration::from_ms(50), 100, ATM_CELL_BITS)),
+        );
+        // Polite filler so the link is otherwise moderately used.
+        b.add_session(
+            SessionSpec::atm(SessionId(0), 640_000),
+            &route.nodes(&nodes),
+            Box::new(PoissonSource::new(
+                Duration::from_secs_f64(0.8e-3),
+                ATM_CELL_BITS,
+            )),
+        );
+    }
+    let _ = T1_BPS; // victim + misbehaver + filler stay below C reserved
+    let mut net = b.build(factory);
+    net.run_until(cfg.horizon(120));
+    let st = net.session_stats(victim);
+    let (pb, dref) = voice_bounds(&net, victim);
+    FirewallRow {
+        discipline: name,
+        max_delay: st.max_delay().unwrap_or(Duration::ZERO),
+        mean_delay: st.mean_delay().unwrap_or(Duration::ZERO),
+        jitter: st.jitter().unwrap_or(Duration::ZERO),
+        lit_bound: pb.delay_bound(dref),
+        lateness_fraction: max_lateness_fraction(&net),
+    }
+}
+
+/// Run the firewall comparison across all five disciplines.
+pub fn run(cfg: &RunConfig) -> Vec<FirewallRow> {
+    let lit = |l: &LinkParams| Box::new(LitDiscipline::new(*l)) as Box<dyn lit_net::Discipline>;
+    let fcfs = FcfsDiscipline::factory();
+    let vc = VirtualClockDiscipline::factory();
+    let wfq = WfqDiscipline::factory();
+    let scfq = ScfqDiscipline::factory();
+    let dedd = EddDiscipline::factory(false);
+    let jedd = EddDiscipline::factory(true);
+    // RCSP levels chosen so the 13.25 ms LenOverRate assignments land in
+    // the middle level.
+    let rcsp = RcspDiscipline::factory(vec![
+        Duration::from_ms(5),
+        Duration::from_ms(20),
+        Duration::from_ms(100),
+    ]);
+    // 48-slot frames = 13.25 ms, one slot per 32 kbit/s session.
+    let hrr = HrrDiscipline::factory(48);
+    let runs: Vec<(&DisciplineFactory<'_>, &'static str)> = vec![
+        (&fcfs, "fcfs"),
+        (&lit, "leave-in-time"),
+        (&vc, "virtualclock"),
+        (&wfq, "wfq"),
+        (&scfq, "scfq"),
+        (&dedd, "delay-edd"),
+        (&jedd, "jitter-edd"),
+        (&rcsp, "rcsp"),
+        (&hrr, "hrr"),
+    ];
+    runs.into_iter()
+        .map(|(f, name)| run_one(f, name, cfg))
+        .collect()
+}
+
+/// Render the comparison.
+pub fn table(rows: &[FirewallRow]) -> Table {
+    let mut t = Table::new(
+        "Firewall property — victim session vs per-link misbehaving bursts",
+        &[
+            "discipline",
+            "max_delay_ms",
+            "mean_delay_ms",
+            "jitter_ms",
+            "lit_bound_ms",
+        ],
+    );
+    for r in rows {
+        t.push(vec![
+            r.discipline.to_string(),
+            ms(r.max_delay),
+            ms(r.mean_delay),
+            ms(r.jitter),
+            ms(r.lit_bound),
+        ]);
+    }
+    t
+}
+
+/// A quick self-check used by tests: only FCFS breaks the Leave-in-Time
+/// bound; every rate-based discipline honours it, and the
+/// work-conserving ones beat FCFS's max delay by at least 2×.
+pub fn fcfs_is_worst(rows: &[FirewallRow]) -> bool {
+    let fcfs = rows
+        .iter()
+        .find(|r| r.discipline == "fcfs")
+        .expect("fcfs row");
+    // HRR is framing-based: it isolates, but its own delay bound is
+    // 2 frames/hop, not the Leave-in-Time bound — exclude it from the
+    // LiT-bound check (like Stop-and-Go it plays a different game).
+    let others_bounded = rows
+        .iter()
+        .filter(|r| !matches!(r.discipline, "fcfs" | "hrr"))
+        .all(|r| r.max_delay < r.lit_bound);
+    // Jitter-EDD intentionally rides close to the bound and HRR holds
+    // packets per frame; compare raw max delay only for the
+    // work-conserving disciplines.
+    let work_conserving_win = rows
+        .iter()
+        .filter(|r| !matches!(r.discipline, "fcfs" | "jitter-edd" | "hrr"))
+        .all(|r| r.max_delay.as_ps() * 2 < fcfs.max_delay.as_ps());
+    fcfs.max_delay > fcfs.lit_bound && others_bounded && work_conserving_win
+}
+
+#[allow(dead_code)]
+fn _assert_horizon_type(t: Time) -> Time {
+    t
+}

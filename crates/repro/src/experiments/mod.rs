@@ -1,0 +1,14 @@
+//! One module per figure/table of the paper's evaluation, plus shared
+//! machinery. See DESIGN.md's experiment index for the mapping.
+
+pub mod ablation;
+pub mod common;
+pub mod fig14_17;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9_11;
+pub mod firewall;
+pub mod heavytail;
+pub mod tables;
+
+pub use common::RunConfig;

@@ -1,0 +1,220 @@
+//! `lit-repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! lit-repro [--quick] [--seed N] [--out DIR] <command>
+//!
+//! commands:
+//!   fig7        max delay/jitter sweep, MIX ON-OFF, AC1/one class
+//!   fig8        jitter control vs none, CROSS + Poisson cross traffic
+//!   fig9        delay CCDF vs bounds, Poisson session rho = 0.7
+//!   fig10       delay CCDF vs bounds, Poisson session rho = 0.33
+//!   fig11       same session, Deterministic (CBR) cross traffic
+//!   fig12       buffer distribution, session without jitter control
+//!   fig13       buffer distribution, session with jitter control
+//!   fig14-17    AC2 two-class delay-shifting sweep
+//!   tables      §2 admission examples, PGPS equivalence, §4 Stop-and-Go
+//!   firewall    victim vs misbehaving bursts across five disciplines
+//!   all         everything above
+//! ```
+//!
+//! `--quick` shrinks every run to ~20 simulated seconds for smoke tests;
+//! the default reproduces the paper's 5/10-minute horizons. Tables print
+//! to stdout and are also written as CSV under `--out` (default
+//! `results/`).
+
+use lit_repro::experiments::{
+    ablation, fig14_17, fig7, fig8, fig9_11, firewall, heavytail, tables, RunConfig,
+};
+use lit_repro::report::Table;
+use lit_repro::scenario::Scenario;
+use lit_sim::Duration;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    cfg: RunConfig,
+    out: PathBuf,
+    command: String,
+    extra: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lit-repro [--quick] [--seconds N] [--seed N] [--out DIR] \
+         <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut cfg = RunConfig::paper();
+    let mut out = PathBuf::from("results");
+    let mut command = None;
+    let mut extra = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => cfg.seconds = Some(20),
+            "--seconds" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.seconds = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                cfg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
+            c if !c.starts_with('-') => extra.push(c.to_string()),
+            _ => usage(),
+        }
+    }
+    Args {
+        cfg,
+        out,
+        command: command.unwrap_or_else(|| usage()),
+        extra,
+    }
+}
+
+fn emit(out: &Path, name: &str, t: &Table) {
+    print!("{}", t.render());
+    println!();
+    match t.write_csv(out, name) {
+        Ok(()) => println!("[csv] {}/{name}.csv", out.display()),
+        Err(e) => eprintln!("[csv] failed to write {name}.csv: {e}"),
+    }
+    println!();
+}
+
+fn run_command(cmd: &str, cfg: &RunConfig, out: &Path) -> bool {
+    match cmd {
+        "fig7" => {
+            let points = fig7::run(cfg);
+            emit(out, "fig7", &fig7::table(&points));
+        }
+        "fig8" | "fig12" | "fig13" => {
+            let r = fig8::run(cfg);
+            match cmd {
+                "fig8" => {
+                    emit(out, "fig8_summary", &fig8::table(&r));
+                    emit(out, "fig8_pdf", &fig8::pdf_table(&r));
+                }
+                "fig12" => emit(out, "fig12_buffer_nojc", &fig8::buffer_table(&r, false)),
+                _ => emit(out, "fig13_buffer_jc", &fig8::buffer_table(&r, true)),
+            }
+        }
+        "fig9" | "fig10" | "fig11" => {
+            let variant = match cmd {
+                "fig9" => fig9_11::Variant::Fig9,
+                "fig10" => fig9_11::Variant::Fig10,
+                _ => fig9_11::Variant::Fig11,
+            };
+            let r = fig9_11::run(cfg, variant);
+            emit(out, cmd, &fig9_11::table(&r));
+            if let (Some(ana), Some(emp)) =
+                (r.analytic_percentile(1e-4), r.empirical_percentile(1e-4))
+            {
+                println!(
+                    "0.01% tail: analytic bound {:.1} ms, observed {:.1} ms",
+                    ana.as_millis_f64(),
+                    emp.as_millis_f64()
+                );
+            }
+        }
+        "fig14-17" | "fig14" | "fig15" | "fig16" | "fig17" => {
+            let points = fig14_17::run(cfg);
+            emit(out, "fig14_17", &fig14_17::table(&points));
+        }
+        "tables" => {
+            emit(
+                out,
+                "table_admission_examples",
+                &tables::admission_examples(),
+            );
+            emit(out, "table_pgps_equivalence", &tables::pgps_equivalence(10));
+            emit(out, "table_stop_and_go", &tables::stop_and_go_table());
+            emit(
+                out,
+                "table_virtualclock_bounds",
+                &tables::virtualclock_bounds(10),
+            );
+        }
+        "firewall" => {
+            let rows = firewall::run(cfg);
+            emit(out, "firewall", &firewall::table(&rows));
+        }
+        "fig14-17-ac1" => {
+            let t = fig14_17::procedure_comparison(cfg, Duration::from_ms(88));
+            emit(out, "fig14_17_ac1_vs_ac2", &t);
+        }
+        "ablation-queue" => {
+            let rows = ablation::run(cfg);
+            emit(out, "ablation_queue", &ablation::table(&rows));
+        }
+        "heavytail" => {
+            let r = heavytail::run(cfg);
+            emit(out, "heavytail", &heavytail::table(&r));
+        }
+        "scenario" => unreachable!("handled in main"),
+        "all" => {
+            for c in [
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14-17",
+                "fig14-17-ac1",
+                "tables",
+                "firewall",
+                "ablation-queue",
+                "heavytail",
+            ] {
+                println!("==> {c}");
+                run_command(c, cfg, out);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.command == "scenario" {
+        let path = args.extra.first().cloned().unwrap_or_else(|| usage());
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("scenario: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match Scenario::parse(&text) {
+            Ok(sc) => {
+                emit(&args.out, "scenario", &sc.run_report());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("scenario {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mode = match args.cfg.seconds {
+        Some(s) => format!("{s} s (reduced)"),
+        None => "paper horizons (5/10 min)".to_string(),
+    };
+    eprintln!(
+        "lit-repro: {} | seed {} | horizon {mode}",
+        args.command, args.cfg.seed
+    );
+    if run_command(&args.command, &args.cfg, &args.out) {
+        ExitCode::SUCCESS
+    } else {
+        usage()
+    }
+}

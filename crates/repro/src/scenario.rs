@@ -1,0 +1,643 @@
+//! A small text format for describing and running experiments without
+//! recompiling — `lit-repro scenario <file>`.
+//!
+//! ```text
+//! # comment                      (blank lines and #-comments ignored)
+//! nodes 5 rate=1536000 prop=1ms lmax=424
+//! discipline lit                 # lit | fcfs | virtualclock | wfq |
+//!                                # scfq | stop-and-go:frame=10ms |
+//!                                # hrr:slots=48 | delay-edd | jitter-edd
+//! queue bucket=1ms               # exact (default) | bucket=<duration>
+//! seed 42
+//! session route=0..4 rate=32000 jc d=2.77ms \
+//!         source=onoff(on=352ms,off=650ms,t=13.25ms,len=424)
+//! session route=1..1 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+//! session route=0..2 rate=64000 shape=64000:1696 \
+//!         source=burst(period=50ms,count=10,len=424)
+//! run 60s
+//! ```
+//!
+//! Durations accept `s`, `ms`, `us`, `ns` suffixes with decimals.
+//! Session options: `jc` (delay-jitter control), `d=<duration>` (fixed
+//! per-hop delay; default is `L/r`), `shape=<rate>:<bits>` (pass the
+//! source through a token-bucket shaper). Sources: `onoff`, `poisson`,
+//! `cbr(gap,len[,offset])`, `burst(period,count,len)`.
+
+use crate::report::{ms, Table};
+use lit_baselines::{
+    EddDiscipline, FcfsDiscipline, HrrDiscipline, ScfqDiscipline, StopAndGoDiscipline,
+    VirtualClockDiscipline, WfqDiscipline,
+};
+use lit_core::{LitDiscipline, PathBounds};
+use lit_net::{
+    DelayAssignment, LinkParams, Network, NetworkBuilder, QueueKind, SessionId, SessionSpec,
+};
+use lit_sim::{Duration, Time};
+use lit_traffic::{
+    BurstSource, DeterministicSource, OnOffConfig, OnOffSource, PoissonSource, ShapedSource, Source,
+};
+
+/// A parse failure, with the offending 1-based line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Which discipline the scenario runs under.
+#[derive(Clone, Debug, PartialEq)]
+enum DisciplineChoice {
+    Lit,
+    Fcfs,
+    VirtualClock,
+    Wfq,
+    Scfq,
+    StopAndGo(Duration),
+    Hrr(u32),
+    DelayEdd,
+    JitterEdd,
+}
+
+/// One session line.
+#[derive(Clone, Debug)]
+struct SessionLine {
+    first: usize,
+    last: usize,
+    rate: u64,
+    jc: bool,
+    d: Option<Duration>,
+    shape: Option<(u64, u64)>,
+    source: SourceSpec,
+}
+
+/// A parsed source description.
+#[derive(Clone, Debug)]
+enum SourceSpec {
+    OnOff {
+        on: Duration,
+        off: Duration,
+        t: Duration,
+        len: u32,
+    },
+    Poisson {
+        gap: Duration,
+        len: u32,
+    },
+    Cbr {
+        gap: Duration,
+        len: u32,
+        offset: Duration,
+    },
+    Burst {
+        period: Duration,
+        count: u32,
+        len: u32,
+    },
+}
+
+/// A fully parsed scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    nodes: usize,
+    link: LinkParams,
+    discipline: DisciplineChoice,
+    queue: QueueKind,
+    seed: u64,
+    sessions: Vec<SessionLine>,
+    horizon: Duration,
+}
+
+/// Parse a duration literal like `13.25ms`, `60s`, `100us`, `500ns`.
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (num, unit) = s
+        .find(|c: char| c.is_alphabetic())
+        .map(|i| s.split_at(i))
+        .ok_or_else(|| format!("duration '{s}' is missing a unit"))?;
+    let v: f64 = num
+        .parse()
+        .map_err(|_| format!("bad duration value '{num}'"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("duration '{s}' out of range"));
+    }
+    let secs = match unit {
+        "s" => v,
+        "ms" => v / 1e3,
+        "us" => v / 1e6,
+        "ns" => v / 1e9,
+        other => return Err(format!("unknown duration unit '{other}'")),
+    };
+    Ok(Duration::from_secs_f64(secs))
+}
+
+/// Split `key=value` (value may be absent for flags).
+fn keyval(tok: &str) -> (&str, Option<&str>) {
+    match tok.split_once('=') {
+        Some((k, v)) => (k, Some(v)),
+        None => (tok, None),
+    }
+}
+
+/// Parse the inside of `name(...)` into `(name, args)`.
+fn call(tok: &str) -> Option<(&str, Vec<(&str, &str)>)> {
+    let open = tok.find('(')?;
+    let close = tok.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let name = &tok[..open];
+    let args = tok[open + 1..close]
+        .split(',')
+        .filter(|a| !a.is_empty())
+        .map(|a| a.split_once('=').unwrap_or((a, "")))
+        .collect();
+    Some((name, args))
+}
+
+impl Scenario {
+    /// Parse a scenario from text.
+    pub fn parse(text: &str) -> Result<Scenario, ParseError> {
+        let mut nodes = None;
+        let mut link = LinkParams::paper_t1();
+        let mut discipline = DisciplineChoice::Lit;
+        let mut queue = QueueKind::Exact;
+        let mut seed = 0u64;
+        let mut sessions = Vec::new();
+        let mut horizon = None;
+
+        let err = |line: usize, message: String| ParseError { line, message };
+
+        // Join continuation lines ending in '\'.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((_, prev)) = logical.last_mut() {
+                if prev.ends_with('\\') {
+                    prev.pop();
+                    prev.push(' ');
+                    prev.push_str(&line);
+                    continue;
+                }
+            }
+            logical.push((i + 1, line));
+        }
+
+        for (ln, line) in logical {
+            let mut toks = line.split_whitespace();
+            let head = toks.next().unwrap();
+            match head {
+                "nodes" => {
+                    let count: usize = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "nodes: missing count".into()))?
+                        .parse()
+                        .map_err(|_| err(ln, "nodes: bad count".into()))?;
+                    for tok in toks {
+                        match keyval(tok) {
+                            ("rate", Some(v)) => {
+                                link.rate_bps =
+                                    v.parse().map_err(|_| err(ln, "nodes: bad rate".into()))?
+                            }
+                            ("prop", Some(v)) => {
+                                link.propagation = parse_duration(v).map_err(|e| err(ln, e))?
+                            }
+                            ("lmax", Some(v)) => {
+                                link.lmax_bits =
+                                    v.parse().map_err(|_| err(ln, "nodes: bad lmax".into()))?
+                            }
+                            (k, _) => return Err(err(ln, format!("nodes: unknown option '{k}'"))),
+                        }
+                    }
+                    nodes = Some(count);
+                }
+                "discipline" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "discipline: missing name".into()))?;
+                    discipline = match name {
+                        "lit" | "leave-in-time" => DisciplineChoice::Lit,
+                        "fcfs" => DisciplineChoice::Fcfs,
+                        "virtualclock" | "vc" => DisciplineChoice::VirtualClock,
+                        "wfq" => DisciplineChoice::Wfq,
+                        "scfq" => DisciplineChoice::Scfq,
+                        "delay-edd" => DisciplineChoice::DelayEdd,
+                        "jitter-edd" => DisciplineChoice::JitterEdd,
+                        other => {
+                            if let Some(frame) = other.strip_prefix("stop-and-go:frame=") {
+                                DisciplineChoice::StopAndGo(
+                                    parse_duration(frame).map_err(|e| err(ln, e))?,
+                                )
+                            } else if let Some(slots) = other.strip_prefix("hrr:slots=") {
+                                DisciplineChoice::Hrr(
+                                    slots
+                                        .parse()
+                                        .map_err(|_| err(ln, "hrr: bad slot count".into()))?,
+                                )
+                            } else {
+                                return Err(err(ln, format!("unknown discipline '{other}'")));
+                            }
+                        }
+                    };
+                }
+                "queue" => {
+                    let kind = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "queue: missing kind".into()))?;
+                    queue = match keyval(kind) {
+                        ("exact", None) => QueueKind::Exact,
+                        ("bucket", Some(v)) => QueueKind::Bucketed {
+                            bucket: parse_duration(v).map_err(|e| err(ln, e))?,
+                        },
+                        _ => return Err(err(ln, format!("unknown queue kind '{kind}'"))),
+                    };
+                }
+                "seed" => {
+                    seed = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "seed: missing value".into()))?
+                        .parse()
+                        .map_err(|_| err(ln, "seed: bad value".into()))?;
+                }
+                "session" => {
+                    let mut first = None;
+                    let mut rate = None;
+                    let mut jc = false;
+                    let mut d = None;
+                    let mut shape = None;
+                    let mut source = None;
+                    for tok in toks {
+                        match keyval(tok) {
+                            ("route", Some(v)) => {
+                                let (a, b) = v
+                                    .split_once("..")
+                                    .ok_or_else(|| err(ln, "route: want A..B".into()))?;
+                                let a: usize =
+                                    a.parse().map_err(|_| err(ln, "route: bad start".into()))?;
+                                let b: usize =
+                                    b.parse().map_err(|_| err(ln, "route: bad end".into()))?;
+                                if b < a {
+                                    return Err(err(ln, "route: end before start".into()));
+                                }
+                                first = Some((a, b));
+                            }
+                            ("rate", Some(v)) => {
+                                rate = Some(v.parse().map_err(|_| err(ln, "bad rate".into()))?)
+                            }
+                            ("jc", None) => jc = true,
+                            ("d", Some(v)) => d = Some(parse_duration(v).map_err(|e| err(ln, e))?),
+                            ("shape", Some(v)) => {
+                                let (r, depth) = v
+                                    .split_once(':')
+                                    .ok_or_else(|| err(ln, "shape: want rate:bits".into()))?;
+                                shape = Some((
+                                    r.parse().map_err(|_| err(ln, "shape: bad rate".into()))?,
+                                    depth
+                                        .parse()
+                                        .map_err(|_| err(ln, "shape: bad depth".into()))?,
+                                ));
+                            }
+                            ("source", Some(v)) => {
+                                source = Some(Self::parse_source(v).map_err(|e| err(ln, e))?)
+                            }
+                            (k, _) => {
+                                return Err(err(ln, format!("session: unknown option '{k}'")))
+                            }
+                        }
+                    }
+                    let (a, b) = first.ok_or_else(|| err(ln, "session: missing route".into()))?;
+                    sessions.push(SessionLine {
+                        first: a,
+                        last: b,
+                        rate: rate.ok_or_else(|| err(ln, "session: missing rate".into()))?,
+                        jc,
+                        d,
+                        shape,
+                        source: source.ok_or_else(|| err(ln, "session: missing source".into()))?,
+                    });
+                }
+                "run" => {
+                    let v = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "run: missing duration".into()))?;
+                    horizon = Some(parse_duration(v).map_err(|e| err(ln, e))?);
+                }
+                other => return Err(err(ln, format!("unknown directive '{other}'"))),
+            }
+        }
+
+        let nodes = nodes.ok_or_else(|| err(0, "missing 'nodes' directive".into()))?;
+        let horizon = horizon.ok_or_else(|| err(0, "missing 'run' directive".into()))?;
+        for s in &sessions {
+            if s.last >= nodes {
+                return Err(err(0, format!("route ends at node {} of {nodes}", s.last)));
+            }
+        }
+        if sessions.is_empty() {
+            return Err(err(0, "no sessions defined".into()));
+        }
+        Ok(Scenario {
+            nodes,
+            link,
+            discipline,
+            queue,
+            seed,
+            sessions,
+            horizon,
+        })
+    }
+
+    fn parse_source(v: &str) -> Result<SourceSpec, String> {
+        let (name, args) = call(v).ok_or_else(|| format!("bad source syntax '{v}'"))?;
+        let get = |key: &str| -> Result<&str, String> {
+            args.iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| format!("source {name}: missing '{key}'"))
+        };
+        let len = |key: &str| -> Result<u32, String> {
+            get(key)?
+                .parse()
+                .map_err(|_| format!("source {name}: bad '{key}'"))
+        };
+        match name {
+            "onoff" => Ok(SourceSpec::OnOff {
+                on: parse_duration(get("on")?)?,
+                off: parse_duration(get("off")?)?,
+                t: parse_duration(get("t")?)?,
+                len: len("len")?,
+            }),
+            "poisson" => Ok(SourceSpec::Poisson {
+                gap: parse_duration(get("gap")?)?,
+                len: len("len")?,
+            }),
+            "cbr" => Ok(SourceSpec::Cbr {
+                gap: parse_duration(get("gap")?)?,
+                len: len("len")?,
+                offset: args
+                    .iter()
+                    .find(|(k, _)| *k == "offset")
+                    .map(|(_, v)| parse_duration(v))
+                    .transpose()?
+                    .unwrap_or(Duration::ZERO),
+            }),
+            "burst" => Ok(SourceSpec::Burst {
+                period: parse_duration(get("period")?)?,
+                count: len("count")?,
+                len: len("len")?,
+            }),
+            other => Err(format!("unknown source kind '{other}'")),
+        }
+    }
+
+    /// Build and run the scenario; returns the finished network and the
+    /// session ids in definition order.
+    pub fn run(&self) -> (Network, Vec<SessionId>) {
+        let mut b = NetworkBuilder::new().seed(self.seed).queue_kind(self.queue);
+        let nodes = b.tandem(self.nodes, self.link);
+        let mut ids = Vec::new();
+        for s in &self.sessions {
+            let mut spec = SessionSpec::atm(SessionId(0), s.rate);
+            spec.jitter_control = s.jc;
+            if let Some(d) = s.d {
+                spec.delay = DelayAssignment::Fixed(d);
+            }
+            let source: Box<dyn Source> = {
+                let inner: Box<dyn Source> = match s.source {
+                    SourceSpec::OnOff { on, off, t, len } => {
+                        Box::new(OnOffSource::new(OnOffConfig {
+                            mean_on: on,
+                            mean_off: off,
+                            spacing: t,
+                            len_bits: len,
+                            initial_offset: Duration::ZERO,
+                        }))
+                    }
+                    SourceSpec::Poisson { gap, len } => Box::new(PoissonSource::new(gap, len)),
+                    SourceSpec::Cbr { gap, len, offset } => {
+                        Box::new(DeterministicSource::new(gap, len).with_offset(offset))
+                    }
+                    SourceSpec::Burst { period, count, len } => {
+                        Box::new(BurstSource::new(period, count, len))
+                    }
+                };
+                match s.shape {
+                    Some((rate, depth)) => {
+                        Box::new(ShapedSource::new(BoxedSource(inner), rate, depth))
+                    }
+                    None => inner,
+                }
+            };
+            let route: Vec<_> = (s.first..=s.last).map(|n| nodes[n]).collect();
+            ids.push(b.add_session(spec, &route, source));
+        }
+        type Factory = Box<dyn Fn(&LinkParams) -> Box<dyn lit_net::Discipline>>;
+        let factory: Factory = match &self.discipline {
+            DisciplineChoice::Lit => Box::new(|l: &LinkParams| {
+                Box::new(LitDiscipline::new(*l)) as Box<dyn lit_net::Discipline>
+            }),
+            DisciplineChoice::Fcfs => Box::new(FcfsDiscipline::factory()),
+            DisciplineChoice::VirtualClock => Box::new(VirtualClockDiscipline::factory()),
+            DisciplineChoice::Wfq => Box::new(WfqDiscipline::factory()),
+            DisciplineChoice::Scfq => Box::new(ScfqDiscipline::factory()),
+            DisciplineChoice::StopAndGo(frame) => Box::new(StopAndGoDiscipline::factory(*frame)),
+            DisciplineChoice::Hrr(slots) => Box::new(HrrDiscipline::factory(*slots)),
+            DisciplineChoice::DelayEdd => Box::new(EddDiscipline::factory(false)),
+            DisciplineChoice::JitterEdd => Box::new(EddDiscipline::factory(true)),
+        };
+        let mut net = b.build(&*factory);
+        net.run_until(Time::ZERO + self.horizon);
+        (net, ids)
+    }
+
+    /// Run and render per-session results. The last column is the
+    /// Leave-in-Time delay bound *assuming a one-cell token bucket* — it
+    /// only applies to sessions whose traffic actually conforms (shaped
+    /// or CBR/ON-OFF at the reserved rate), and is omitted for other
+    /// disciplines.
+    pub fn run_report(&self) -> Table {
+        let (net, ids) = self.run();
+        let bounded = matches!(
+            self.discipline,
+            DisciplineChoice::Lit | DisciplineChoice::VirtualClock
+        );
+        let mut t = Table::new(
+            format!("scenario — {} nodes, horizon {}", self.nodes, self.horizon),
+            &[
+                "session",
+                "route",
+                "delivered",
+                "max_delay_ms",
+                "mean_delay_ms",
+                "jitter_ms",
+                "bound_if_1cell_tb_ms",
+            ],
+        );
+        for (i, id) in ids.iter().enumerate() {
+            let st = net.session_stats(*id);
+            let bound = if bounded {
+                let (pb, dref) = {
+                    let pb = PathBounds::for_session(&net, *id);
+                    let dref = Duration::from_bits_at_rate(
+                        net.session_spec(*id).max_len_bits as u64,
+                        net.session_spec(*id).rate_bps,
+                    );
+                    (pb, dref)
+                };
+                ms(pb.delay_bound(dref))
+            } else {
+                "-".to_string()
+            };
+            t.push(vec![
+                i.to_string(),
+                format!("{}..{}", self.sessions[i].first, self.sessions[i].last),
+                st.delivered.to_string(),
+                st.max_delay().map(ms).unwrap_or_else(|| "-".into()),
+                st.mean_delay().map(ms).unwrap_or_else(|| "-".into()),
+                st.jitter().map(ms).unwrap_or_else(|| "-".into()),
+                bound,
+            ]);
+        }
+        t
+    }
+}
+
+/// Adapter: a boxed source as a `Source` (for shaping a dynamic inner).
+struct BoxedSource(Box<dyn Source>);
+
+impl Source for BoxedSource {
+    fn next_emission(&mut self, rng: &mut lit_sim::SimRng) -> Option<lit_traffic::Emission> {
+        self.0.next_emission(rng)
+    }
+    fn mean_rate_bps(&self) -> Option<f64> {
+        self.0.mean_rate_bps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG8ISH: &str = r#"
+# miniature figure 8
+nodes 5 rate=1536000 prop=1ms lmax=424
+discipline lit
+seed 7
+session route=0..4 rate=32000 source=onoff(on=352ms,off=650ms,t=13.25ms,len=424)
+session route=0..4 rate=32000 jc source=onoff(on=352ms,off=650ms,t=13.25ms,len=424)
+session route=0..0 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=1..1 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=2..2 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=3..3 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=4..4 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+run 10s
+"#;
+
+    #[test]
+    fn parses_and_runs_fig8ish() {
+        let sc = Scenario::parse(FIG8ISH).unwrap();
+        assert_eq!(sc.nodes, 5);
+        assert_eq!(sc.sessions.len(), 7);
+        let (net, ids) = sc.run();
+        assert!(net.session_stats(ids[0]).delivered > 100);
+        // The jc session's jitter is smaller.
+        let j0 = net.session_stats(ids[0]).jitter().unwrap();
+        let j1 = net.session_stats(ids[1]).jitter().unwrap();
+        assert!(j1 < j0, "jc {j1} !< plain {j0}");
+        let report = sc.run_report();
+        assert_eq!(report.len(), 7);
+    }
+
+    #[test]
+    fn duration_literals() {
+        assert_eq!(
+            parse_duration("13.25ms").unwrap(),
+            Duration::from_us(13_250)
+        );
+        assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("100us").unwrap(), Duration::from_us(100));
+        assert_eq!(parse_duration("500ns").unwrap(), Duration::from_ns(500));
+        assert!(parse_duration("5").is_err());
+        assert!(parse_duration("5parsecs").is_err());
+        assert!(parse_duration("-1ms").is_err());
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text =
+            "nodes 2\nsession route=0..1 rate=1000 \\\n  source=poisson(gap=1ms,len=424)\nrun 1s\n";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(sc.sessions.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = Scenario::parse("nodes 2\nbogus directive\nrun 1s").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn route_validation() {
+        let e = Scenario::parse(
+            "nodes 2\nsession route=0..5 rate=1 source=poisson(gap=1ms,len=1)\nrun 1s",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("route ends"));
+        let e = Scenario::parse(
+            "nodes 2\nsession route=1..0 rate=1 source=poisson(gap=1ms,len=1)\nrun 1s",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("end before start"));
+    }
+
+    #[test]
+    fn missing_directives() {
+        assert!(Scenario::parse("run 1s").is_err());
+        assert!(Scenario::parse("nodes 1").is_err());
+        let e = Scenario::parse("nodes 1\nrun 1s").unwrap_err();
+        assert!(e.message.contains("no sessions"));
+    }
+
+    #[test]
+    fn disciplines_and_queue_parse() {
+        for d in [
+            "lit",
+            "fcfs",
+            "virtualclock",
+            "wfq",
+            "scfq",
+            "delay-edd",
+            "jitter-edd",
+            "stop-and-go:frame=10ms",
+            "hrr:slots=48",
+        ] {
+            let text = format!(
+                "nodes 1\ndiscipline {d}\nqueue bucket=1ms\nsession route=0..0 rate=1000 source=cbr(gap=10ms,len=424)\nrun 1s"
+            );
+            let sc = Scenario::parse(&text).unwrap_or_else(|e| panic!("{d}: {e}"));
+            let (net, ids) = sc.run();
+            assert!(net.session_stats(ids[0]).delivered > 0, "{d}");
+        }
+    }
+
+    #[test]
+    fn shaped_and_burst_sources() {
+        let text = "nodes 1\nsession route=0..0 rate=32000 shape=32000:848 \
+                    source=burst(period=100ms,count=5,len=424)\nrun 5s";
+        let sc = Scenario::parse(text).unwrap();
+        let (net, ids) = sc.run();
+        assert!(net.session_stats(ids[0]).delivered >= 200);
+    }
+}

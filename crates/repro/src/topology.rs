@@ -1,0 +1,179 @@
+//! The paper's network topology and traffic configurations (§3, Figure 6).
+//!
+//! Five server nodes in tandem with T1 links (1536 kbit/s, 1 ms
+//! propagation). Entrance points `a`–`e` feed nodes 1–5; exit points
+//! `f`–`j` drain them. A route is named by an entrance/exit letter pair:
+//! `a-j` crosses all five nodes, `b-g` only node 2, etc.
+//!
+//! Two standard traffic configurations:
+//!
+//! * **MIX** — 12 routes with per-route session counts chosen so that
+//!   *every link carries exactly 48 sessions* (48 × 32 kbit/s = C). The
+//!   paper's prose total ("8 four-hop sessions") disagrees with its own
+//!   per-route listing (6 + 6 = 12); the listing is the only assignment
+//!   that exactly fills every link, so the listing wins (see DESIGN.md).
+//! * **CROSS** — route `a-j` plus the five one-hop routes `a-f` … `e-j`
+//!   (the "cross traffic").
+
+use lit_net::{LinkParams, NetworkBuilder, NodeId};
+
+/// Number of server nodes in the paper's topology.
+pub const NUM_NODES: usize = 5;
+
+/// A route through the tandem, by entrance and exit letter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Route {
+    /// Entrance letter, `'a'..='e'` (node 1..5).
+    pub entry: char,
+    /// Exit letter, `'f'..='j'` (after node 1..5).
+    pub exit: char,
+}
+
+impl Route {
+    /// Construct and validate a route.
+    ///
+    /// # Panics
+    /// Panics on letters outside `a..=e` / `f..=j` or an exit before the
+    /// entry.
+    pub fn new(entry: char, exit: char) -> Self {
+        let r = Route { entry, exit };
+        let _ = r.node_indices();
+        r
+    }
+
+    /// The 0-based node indices this route traverses.
+    pub fn node_indices(&self) -> std::ops::RangeInclusive<usize> {
+        assert!(
+            ('a'..='e').contains(&self.entry),
+            "bad entry {}",
+            self.entry
+        );
+        assert!(('f'..='j').contains(&self.exit), "bad exit {}", self.exit);
+        let first = self.entry as usize - 'a' as usize;
+        let last = self.exit as usize - 'f' as usize;
+        assert!(
+            first <= last,
+            "route {}-{} goes backwards",
+            self.entry,
+            self.exit
+        );
+        first..=last
+    }
+
+    /// Number of hops.
+    pub fn hops(&self) -> usize {
+        self.node_indices().count()
+    }
+
+    /// The node ids of this route within a network whose tandem nodes are
+    /// `nodes`.
+    pub fn nodes(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        self.node_indices().map(|i| nodes[i]).collect()
+    }
+
+    /// Render as the paper's `a-j` notation.
+    pub fn name(&self) -> String {
+        format!("{}-{}", self.entry, self.exit)
+    }
+}
+
+/// The MIX configuration: `(route, session_count)` pairs, exactly as the
+/// paper lists them. Every link ends up with 48 sessions.
+pub fn mix_routes() -> Vec<(Route, usize)> {
+    vec![
+        (Route::new('a', 'j'), 10), // five-hop
+        (Route::new('b', 'g'), 10), // one-hop
+        (Route::new('c', 'h'), 10), // one-hop
+        (Route::new('d', 'i'), 10), // one-hop
+        (Route::new('a', 'f'), 16), // one-hop
+        (Route::new('e', 'j'), 16), // one-hop
+        (Route::new('a', 'h'), 8),  // three-hop
+        (Route::new('c', 'j'), 8),  // three-hop
+        (Route::new('a', 'g'), 8),  // two-hop
+        (Route::new('d', 'j'), 8),  // two-hop
+        (Route::new('a', 'i'), 6),  // four-hop
+        (Route::new('b', 'j'), 6),  // four-hop
+    ]
+}
+
+/// The CROSS configuration's one-hop cross routes.
+pub fn cross_routes() -> Vec<Route> {
+    vec![
+        Route::new('a', 'f'),
+        Route::new('b', 'g'),
+        Route::new('c', 'h'),
+        Route::new('d', 'i'),
+        Route::new('e', 'j'),
+    ]
+}
+
+/// The five-hop route `a-j` every reported measurement uses.
+pub fn five_hop() -> Route {
+    Route::new('a', 'j')
+}
+
+/// Create the paper's five T1 nodes in a builder, returning their ids.
+pub fn paper_tandem(b: &mut NetworkBuilder) -> Vec<NodeId> {
+    b.tandem(NUM_NODES, LinkParams::paper_t1())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_spans() {
+        assert_eq!(five_hop().hops(), 5);
+        assert_eq!(Route::new('b', 'g').hops(), 1);
+        assert_eq!(Route::new('a', 'h').hops(), 3);
+        assert_eq!(Route::new('d', 'j').hops(), 2);
+        assert_eq!(Route::new('b', 'j').hops(), 4);
+        assert_eq!(
+            Route::new('a', 'i').node_indices().collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(five_hop().name(), "a-j");
+    }
+
+    #[test]
+    #[should_panic(expected = "goes backwards")]
+    fn backwards_route_rejected() {
+        Route::new('e', 'f');
+    }
+
+    #[test]
+    fn mix_fills_every_link_with_exactly_48_sessions() {
+        let mut per_link = [0usize; NUM_NODES];
+        for (route, count) in mix_routes() {
+            for n in route.node_indices() {
+                per_link[n] += count;
+            }
+        }
+        assert_eq!(per_link, [48; NUM_NODES]);
+        // 48 × 32 kbit/s = 1536 kbit/s = T1: every link exactly full.
+    }
+
+    #[test]
+    fn mix_hop_census_matches_paper_listing() {
+        let mut by_hops = [0usize; 6];
+        for (route, count) in mix_routes() {
+            by_hops[route.hops()] += count;
+        }
+        assert_eq!(by_hops[5], 10);
+        assert_eq!(by_hops[4], 12); // the paper's prose says 8 — see module docs
+        assert_eq!(by_hops[3], 16);
+        assert_eq!(by_hops[2], 16);
+        assert_eq!(by_hops[1], 62);
+        assert_eq!(mix_routes().iter().map(|(_, c)| c).sum::<usize>(), 116);
+    }
+
+    #[test]
+    fn cross_routes_cover_each_link_once() {
+        let mut per_link = [0usize; NUM_NODES];
+        for r in cross_routes() {
+            assert_eq!(r.hops(), 1);
+            per_link[*r.node_indices().start()] += 1;
+        }
+        assert_eq!(per_link, [1; NUM_NODES]);
+    }
+}

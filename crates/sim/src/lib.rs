@@ -1,0 +1,26 @@
+//! # lit-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate beneath the Leave-in-Time reproduction: a minimal,
+//! fully deterministic discrete-event core in the spirit of classic network
+//! simulators (ns-2's scheduler, smoltcp's event-driven style), providing:
+//!
+//! * [`Time`] / [`Duration`] — picosecond fixed-point simulated time with
+//!   exact-enough rate arithmetic ([`Duration::from_bits_at_rate`]);
+//! * [`EventQueue`] — the future-event set, FIFO-stable among same-time
+//!   events so runs are bit-reproducible;
+//! * [`SimRng`] / [`SeedSeq`] — per-component reproducible random streams.
+//!
+//! The kernel deliberately contains **no** networking concepts; nodes,
+//! links, packets and scheduling disciplines live in `lit-net` and above.
+//! This keeps the event core reusable and independently testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::{SeedSeq, SimRng};
+pub use time::{Duration, Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};

@@ -1,0 +1,192 @@
+//! Deterministic future-event set.
+//!
+//! [`EventQueue`] is a time-ordered priority queue with a crucial extra
+//! guarantee: events scheduled for the *same* instant pop in the order they
+//! were pushed (FIFO). A plain `BinaryHeap` keyed on time alone makes
+//! same-time ordering depend on heap internals, which would make runs
+//! non-reproducible across refactors; we break ties with a monotonically
+//! increasing sequence number instead.
+
+use crate::time::Time;
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A single scheduled entry: payload `E` due at `at`.
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The future-event set of a discrete-event simulation.
+///
+/// ```
+/// use lit_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ms(2), "late");
+/// q.push(Time::from_ms(1), "early");
+/// q.push(Time::from_ms(1), "early-second");
+/// assert_eq!(q.pop(), Some((Time::from_ms(1), "early")));
+/// assert_eq!(q.pop(), Some((Time::from_ms(1), "early-second")));
+/// assert_eq!(q.pop(), Some((Time::from_ms(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// An empty queue with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `at`.
+    ///
+    /// Pushing an event in the past is allowed here (the queue is just a
+    /// data structure); the executor is responsible for asserting that time
+    /// never flows backwards.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Remove and return the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The due time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever pushed (diagnostic counter).
+    pub fn pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Drop all pending events, keeping allocations.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        for i in (0..100u64).rev() {
+            q.push(Time::from_ms(i), i);
+        }
+        let mut prev = Time::ZERO;
+        let mut n = 0;
+        while let Some((t, e)) = q.pop() {
+            assert!(t >= prev);
+            assert_eq!(t, Time::from_ms(e));
+            prev = t;
+            n += 1;
+        }
+        assert_eq!(n, 100);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1);
+        for i in 0..1000 {
+            q.push(t, i);
+        }
+        for i in 0..1000 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ms(10), "a");
+        q.push(Time::from_ms(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.push(Time::from_ms(7), "c");
+        q.push(Time::from_ms(6), "d");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_and_counters() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ms(3), ());
+        q.push(Time::from_ms(1), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ms(1)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pushed(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        // seq keeps increasing after clear, preserving global FIFO.
+        q.push(Time::from_ms(1) + Duration::ZERO, ());
+        assert_eq!(q.pushed(), 3);
+    }
+}

@@ -1,0 +1,527 @@
+//! Fixed-point simulated time.
+//!
+//! All simulated clocks in this workspace are expressed in **picoseconds**
+//! held in a `u64`. Picosecond resolution was chosen because the paper's
+//! evaluation multiplexes 424-bit ATM cells onto 1536 kbit/s (T1) links: one
+//! cell transmission lasts 276 041 666.6̅ ps, so rounding to the nearest
+//! picosecond accumulates less than 0.7 ps of error per transmission — far
+//! below the millisecond scale at which the paper's bounds live — while a
+//! `u64` still spans 213 days of simulated time, ample for the paper's
+//! 5–10 minute runs.
+//!
+//! Two newtypes are provided, mirroring `std::time`:
+//!
+//! * [`Time`] — an absolute instant on the simulation clock (zero = start of
+//!   the run);
+//! * [`Duration`] — a non-negative span between instants.
+//!
+//! Arithmetic that could silently wrap is either checked (`checked_*`) or
+//! panics in debug *and* release (`+`, `-` use `expect`), because a wrapped
+//! clock would corrupt event ordering — better to fail loudly.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// An absolute instant on the simulation clock, in picoseconds since the
+/// start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A non-negative span of simulated time, in picoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The start of the simulation.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel (e.g. "no next event").
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * PS_PER_MS)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * PS_PER_SEC)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds. Lossy; for reporting only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Value in (fractional) milliseconds. Lossy; for reporting only.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// Duration elapsed since `earlier`, or `None` if `earlier` is later
+    /// than `self`.
+    #[inline]
+    pub fn checked_since(self, earlier: Time) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration)
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self + d`, or `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+
+    /// The later of the two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of the two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable span; an "infinite" sentinel.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Construct from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * PS_PER_MS)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * PS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest
+    /// picosecond. Panics on negative, non-finite, or out-of-range input.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Duration::from_secs_f64: invalid seconds {s}"
+        );
+        let ps = s * PS_PER_SEC as f64;
+        assert!(ps <= u64::MAX as f64, "Duration::from_secs_f64: overflow");
+        Duration(ps.round() as u64)
+    }
+
+    /// Construct from fractional milliseconds, rounding to the nearest
+    /// picosecond.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1e3)
+    }
+
+    /// The time it takes to emit `bits` bits at `rate_bps` bits per second,
+    /// rounded to the nearest picosecond.
+    ///
+    /// This is *the* primitive behind every rate computation in the
+    /// workspace (`L/r`, `L/C`, token-bucket refill, …). The intermediate
+    /// product is computed in `u128`, so there is no overflow for any
+    /// realistic `bits`/`rate` combination, and the division error is at
+    /// most half a picosecond.
+    ///
+    /// # Panics
+    /// Panics if `rate_bps == 0`.
+    #[inline]
+    pub fn from_bits_at_rate(bits: u64, rate_bps: u64) -> Self {
+        assert!(rate_bps > 0, "from_bits_at_rate: zero rate");
+        let num = bits as u128 * PS_PER_SEC as u128;
+        let ps = (num + rate_bps as u128 / 2) / rate_bps as u128;
+        debug_assert!(ps <= u64::MAX as u128, "from_bits_at_rate: overflow");
+        Duration(ps as u64)
+    }
+
+    /// The number of whole bits a server of `rate_bps` emits in `self`
+    /// (floor). Inverse of [`Duration::from_bits_at_rate`] up to rounding.
+    #[inline]
+    pub fn bits_at_rate(self, rate_bps: u64) -> u64 {
+        (self.0 as u128 * rate_bps as u128 / PS_PER_SEC as u128) as u64
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds. Lossy; for reporting only.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Value in (fractional) milliseconds. Lossy; for reporting only.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// `self + d`, or `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: Duration) -> Option<Duration> {
+        self.0.checked_add(d.0).map(Duration)
+    }
+
+    /// `self - d`, or `None` if `d > self`.
+    #[inline]
+    pub fn checked_sub(self, d: Duration) -> Option<Duration> {
+        self.0.checked_sub(d.0).map(Duration)
+    }
+
+    /// `self - d`, clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> Duration {
+        Duration(self.0.saturating_sub(d.0))
+    }
+
+    /// `self * k`, or `None` on overflow.
+    #[inline]
+    pub fn checked_mul(self, k: u64) -> Option<Duration> {
+        self.0.checked_mul(k).map(Duration)
+    }
+
+    /// The larger of the two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of the two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Time + Duration overflowed"),
+        )
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time - Duration underflowed"),
+        )
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    /// Elapsed span `self - rhs`. Panics if `rhs` is later than `self`;
+    /// use [`Time::checked_since`] when the ordering is uncertain.
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0.checked_sub(rhs.0).expect("Time - Time underflowed"))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Duration + Duration overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Duration - Duration underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.checked_mul(rhs).expect("Duration * u64 overflowed"))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", format_ps(self.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_ps(self.0))
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_ps(self.0))
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&format_ps(self.0))
+    }
+}
+
+/// Render a picosecond count with a human-scale unit.
+fn format_ps(ps: u64) -> String {
+    if ps == 0 {
+        "0s".to_string()
+    } else if ps.is_multiple_of(PS_PER_SEC) {
+        format!("{}s", ps / PS_PER_SEC)
+    } else if ps >= PS_PER_SEC {
+        format!("{:.6}s", ps as f64 / PS_PER_SEC as f64)
+    } else if ps >= PS_PER_MS {
+        format!("{:.6}ms", ps as f64 / PS_PER_MS as f64)
+    } else if ps >= PS_PER_US {
+        format!("{:.3}us", ps as f64 / PS_PER_US as f64)
+    } else if ps >= PS_PER_NS {
+        format!("{:.3}ns", ps as f64 / PS_PER_NS as f64)
+    } else {
+        format!("{ps}ps")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_secs(1), Time::from_ms(1000));
+        assert_eq!(Time::from_ms(1), Time::from_us(1000));
+        assert_eq!(Time::from_us(1), Time::from_ns(1000));
+        assert_eq!(Time::from_ns(1), Time::from_ps(1000));
+        assert_eq!(Duration::from_secs(2).as_ps(), 2 * PS_PER_SEC);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::from_ms(5) + Duration::from_us(250);
+        assert_eq!(t - Time::from_ms(5), Duration::from_us(250));
+        assert_eq!(t - Duration::from_us(250), Time::from_ms(5));
+    }
+
+    #[test]
+    fn atm_cell_on_t1_link() {
+        // 424 bits at 1536 kbit/s = 276.0416̅ us.
+        let d = Duration::from_bits_at_rate(424, 1_536_000);
+        assert_eq!(d.as_ps(), 276_041_667); // rounded from ...666.67
+                                            // And on a 32 kbit/s reservation: exactly 13.25 ms.
+        let d = Duration::from_bits_at_rate(424, 32_000);
+        assert_eq!(d, Duration::from_us(13_250));
+    }
+
+    #[test]
+    fn bits_at_rate_inverts() {
+        let d = Duration::from_bits_at_rate(1_000_000, 1_536_000);
+        let bits = d.bits_at_rate(1_536_000);
+        assert!((bits as i64 - 1_000_000).abs() <= 1, "bits={bits}");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn time_sub_panics_on_reversed_order() {
+        let _ = Time::from_ms(1) - Time::from_ms(2);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(Time::from_ms(1).checked_since(Time::from_ms(2)), None);
+        assert_eq!(
+            Time::from_ms(2).checked_since(Time::from_ms(1)),
+            Some(Duration::from_ms(1))
+        );
+        assert_eq!(Time::MAX.checked_add(Duration::from_ps(1)), None);
+        assert_eq!(Duration::MAX.checked_mul(2), None);
+        assert_eq!(
+            Duration::from_ms(3).saturating_sub(Duration::from_ms(5)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(Duration::from_secs_f64(0.001), Duration::from_ms(1));
+        assert_eq!(Duration::from_millis_f64(13.25), Duration::from_us(13_250));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Duration::from_secs(3).to_string(), "3s");
+        assert_eq!(Duration::from_ps(5).to_string(), "5ps");
+        assert_eq!(Duration::from_ms(2).to_string(), "2.000000ms");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [Duration::from_ms(1), Duration::from_us(500), Duration::ZERO]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Duration::from_us(1_500));
+        let empty: Duration = std::iter::empty().sum();
+        assert_eq!(empty, Duration::ZERO);
+    }
+
+    #[test]
+    fn time_display_and_debug() {
+        assert_eq!(Time::from_secs(2).to_string(), "2s");
+        assert_eq!(format!("{:?}", Time::from_ms(1)), "t=1.000000ms");
+        assert_eq!(Duration::from_us(3).to_string(), "3.000us");
+        assert_eq!(Duration::from_ns(7).to_string(), "7.000ns");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Time::from_ms(1);
+        let b = Time::from_ms(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let x = Duration::from_ms(1);
+        let y = Duration::from_ms(2);
+        assert_eq!(x.max(y), y);
+        assert_eq!(x.min(y), x);
+    }
+}

@@ -1,0 +1,44 @@
+//! # lit-traffic — traffic source models
+//!
+//! The source models of the paper's evaluation (§3 "Traffic Source
+//! Models"), plus the token-bucket filter/shaper its analysis relies on:
+//!
+//! * [`OnOffSource`] — two-state Markov-modulated: fixed spacing `T` while
+//!   ON, geometric burst length with mean `a_ON/T`, exponential OFF with
+//!   mean `a_OFF`; models standard voice;
+//! * [`PoissonSource`] — exponential interarrivals (the session whose
+//!   reference server is M/D/1, enabling the analytic bound of Figs 9–11);
+//! * [`DeterministicSource`] — CBR, for fully committed links (Fig. 11);
+//! * [`BurstSource`] — adversarial back-to-back bursts (worst cases);
+//! * [`TokenBucket`] / [`ShapedSource`] — conformance checking and
+//!   enforcement for `(r, b₀)` leaky-bucket sessions (ineq. 14–15);
+//! * [`TraceSource`] — replay of recorded/handcrafted arrival sequences
+//!   (CSV import/export for external traces);
+//! * [`ParetoOnOffSource`] — heavy-tailed ON-OFF (extension beyond the
+//!   paper: the self-similar regime where only the *simulated* bound of
+//!   Figs. 9–11 is available).
+//!
+//! All packet lengths in the paper's experiments are 424 bits (one ATM
+//! cell); every model takes the length as a parameter regardless.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod deterministic;
+mod onoff;
+mod pareto;
+mod poisson;
+mod source;
+mod token_bucket;
+mod trace;
+
+pub use deterministic::{BurstSource, DeterministicSource};
+pub use onoff::{OnOffConfig, OnOffSource};
+pub use pareto::{ParetoOnOffConfig, ParetoOnOffSource};
+pub use poisson::PoissonSource;
+pub use source::{Emission, Source, SourceExt};
+pub use token_bucket::{ShapedSource, TokenBucket};
+pub use trace::TraceSource;
+
+/// Packet length used throughout the paper's evaluation: one ATM cell.
+pub const ATM_CELL_BITS: u32 = 424;

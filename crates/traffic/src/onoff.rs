@@ -1,0 +1,243 @@
+//! Two-state Markov-modulated ON-OFF source (paper §3, "Traffic Source
+//! Models").
+//!
+//! In the ON state the source emits fixed-length packets at fixed spacing
+//! `T`; in the OFF state it is silent. ON durations are exponential with
+//! mean `a_ON`, approximated — exactly as in the paper — by drawing the
+//! *number of packets per burst* from a geometric distribution with mean
+//! `a_ON / T`. OFF durations are exponential with mean `a_OFF`.
+//!
+//! The paper's voice-like configuration is `a_ON = 352 ms`, `T = 13.25 ms`
+//! (424-bit cells at 32 kbit/s while ON) and `a_OFF` swept from 6.5 ms
+//! (≈ CBR, 98.2 % duty) to 650 ms (standard voice, 35.1 % duty).
+
+use crate::source::{Emission, Source};
+use lit_sim::{Duration, SimRng, Time};
+
+/// Parameters of an ON-OFF source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OnOffConfig {
+    /// Mean ON-state duration `a_ON`.
+    pub mean_on: Duration,
+    /// Mean OFF-state duration `a_OFF`. May be zero (degenerates towards a
+    /// fixed-rate source, as the paper notes).
+    pub mean_off: Duration,
+    /// Packet spacing `T` while ON.
+    pub spacing: Duration,
+    /// Packet length in bits.
+    pub len_bits: u32,
+    /// Extra silence before the very first burst; lets experiments stagger
+    /// many identically configured sources without touching their RNG
+    /// streams.
+    pub initial_offset: Duration,
+}
+
+impl OnOffConfig {
+    /// The paper's ON-OFF configuration: `a_ON = 352 ms`, `T = 13.25 ms`,
+    /// 424-bit packets (32 kbit/s while ON), with the given `a_OFF`.
+    pub fn paper_voice(mean_off: Duration) -> Self {
+        OnOffConfig {
+            mean_on: Duration::from_ms(352),
+            mean_off,
+            spacing: Duration::from_us(13_250),
+            len_bits: 424,
+            initial_offset: Duration::ZERO,
+        }
+    }
+
+    /// Same configuration shifted by an initial offset.
+    pub fn with_offset(mut self, offset: Duration) -> Self {
+        self.initial_offset = offset;
+        self
+    }
+
+    /// Long-run duty cycle `a_ON / (a_ON + a_OFF)`.
+    pub fn duty_cycle(&self) -> f64 {
+        let on = self.mean_on.as_secs_f64();
+        let off = self.mean_off.as_secs_f64();
+        if on + off == 0.0 {
+            0.0
+        } else {
+            on / (on + off)
+        }
+    }
+}
+
+/// The ON-OFF source state machine.
+///
+/// A burst entered at `t₀` with drawn packet count `N ≥ 1` emits packets at
+/// `t₀, t₀+T, …, t₀+(N−1)T`; the ON period is accounted as lasting `N·T`,
+/// after which an exponential OFF period begins. This makes the mean number
+/// of packets per burst `a_ON/T` yield a mean ON duration of `a_ON`,
+/// matching the paper's approximation.
+#[derive(Clone, Debug)]
+pub struct OnOffSource {
+    cfg: OnOffConfig,
+    /// Emission time of the next packet if mid-burst.
+    next_at: Time,
+    /// Packets remaining in the current burst (0 = must start a new burst).
+    remaining: u64,
+    /// Whether the first burst has been scheduled yet.
+    started: bool,
+}
+
+impl OnOffSource {
+    /// Create a source; the first OFF period (plus `initial_offset`)
+    /// precedes the first burst, so an ensemble of sources starts
+    /// desynchronized.
+    pub fn new(cfg: OnOffConfig) -> Self {
+        OnOffSource {
+            cfg,
+            next_at: Time::ZERO,
+            remaining: 0,
+            started: false,
+        }
+    }
+
+    /// The configuration this source was built with.
+    pub fn config(&self) -> &OnOffConfig {
+        &self.cfg
+    }
+
+    fn mean_burst_len(&self) -> f64 {
+        let t = self.cfg.spacing.as_secs_f64();
+        if t == 0.0 {
+            1.0
+        } else {
+            self.cfg.mean_on.as_secs_f64() / t
+        }
+    }
+
+    /// Begin a new burst starting at `start`, drawing its length.
+    fn start_burst(&mut self, start: Time, rng: &mut SimRng) {
+        self.remaining = rng.geometric_min1(self.mean_burst_len());
+        self.next_at = start;
+    }
+}
+
+impl Source for OnOffSource {
+    fn next_emission(&mut self, rng: &mut SimRng) -> Option<Emission> {
+        if !self.started {
+            self.started = true;
+            let off = rng.exponential(self.cfg.mean_off);
+            self.start_burst(Time::ZERO + self.cfg.initial_offset + off, rng);
+        }
+        if self.remaining == 0 {
+            // End of burst: the ON period covers one spacing past the last
+            // packet, then an OFF period follows.
+            let off = rng.exponential(self.cfg.mean_off);
+            let start = self.next_at + off;
+            self.start_burst(start, rng);
+        }
+        let at = self.next_at;
+        self.remaining -= 1;
+        self.next_at = at + self.cfg.spacing;
+        Some(Emission {
+            at,
+            len_bits: self.cfg.len_bits,
+        })
+    }
+
+    fn mean_rate_bps(&self) -> Option<f64> {
+        let t = self.cfg.spacing.as_secs_f64();
+        if t == 0.0 {
+            return None;
+        }
+        let peak = self.cfg.len_bits as f64 / t;
+        Some(peak * self.cfg.duty_cycle())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceExt;
+
+    fn paper_cfg(off_ms: u64) -> OnOffConfig {
+        OnOffConfig::paper_voice(Duration::from_ms(off_ms))
+    }
+
+    #[test]
+    fn duty_cycle_matches_paper_endpoints() {
+        // Paper: utilization 98.2% at a_OFF=6.5ms, 35.1% at a_OFF=650ms.
+        let lo = OnOffConfig::paper_voice(Duration::from_us(6_500)).duty_cycle();
+        let hi = OnOffConfig::paper_voice(Duration::from_ms(650)).duty_cycle();
+        assert!((lo - 0.982).abs() < 1e-3, "lo={lo}");
+        assert!((hi - 0.351).abs() < 1e-3, "hi={hi}");
+    }
+
+    #[test]
+    fn in_burst_spacing_is_exactly_t() {
+        let mut rng = SimRng::seed_from(11);
+        let mut s = OnOffSource::new(paper_cfg(650));
+        let em = s.emissions_until(Time::from_secs(60), &mut rng);
+        assert!(em.len() > 500, "got {}", em.len());
+        let t = Duration::from_us(13_250);
+        let mut in_burst_gaps = 0;
+        for w in em.windows(2) {
+            let gap = w[1].at - w[0].at;
+            assert!(gap >= t, "gap below spacing: {gap}");
+            if gap == t {
+                in_burst_gaps += 1;
+            }
+        }
+        assert!(in_burst_gaps > em.len() / 2);
+    }
+
+    #[test]
+    fn long_run_rate_close_to_mean() {
+        let mut rng = SimRng::seed_from(5);
+        let mut s = OnOffSource::new(paper_cfg(650));
+        let horizon = Time::from_secs(3_000);
+        let em = s.emissions_until(horizon, &mut rng);
+        let bits: u64 = em.iter().map(|e| e.len_bits as u64).sum();
+        let rate = bits as f64 / horizon.as_secs_f64();
+        let want = s.mean_rate_bps().unwrap(); // ≈ 32000 * 0.351 ≈ 11240
+        assert!(
+            (rate - want).abs() / want < 0.05,
+            "rate={rate}, want={want}"
+        );
+    }
+
+    #[test]
+    fn peak_rate_is_32kbps_while_on() {
+        let cfg = paper_cfg(650);
+        let peak = cfg.len_bits as f64 / cfg.spacing.as_secs_f64();
+        assert!((peak - 32_000.0).abs() < 1.0, "peak={peak}");
+    }
+
+    #[test]
+    fn initial_offset_shifts_first_emission() {
+        let mut r1 = SimRng::seed_from(9);
+        let mut r2 = SimRng::seed_from(9);
+        let mut a = OnOffSource::new(paper_cfg(100));
+        let mut b = OnOffSource::new(paper_cfg(100).with_offset(Duration::from_ms(7)));
+        let ea = a.next_emission(&mut r1).unwrap();
+        let eb = b.next_emission(&mut r2).unwrap();
+        assert_eq!(eb.at - ea.at, Duration::from_ms(7));
+    }
+
+    #[test]
+    fn zero_off_time_is_nearly_cbr() {
+        let mut rng = SimRng::seed_from(3);
+        let mut s = OnOffSource::new(paper_cfg(0));
+        let em = s.emissions_until(Time::from_secs(10), &mut rng);
+        let t = Duration::from_us(13_250);
+        for w in em.windows(2) {
+            assert_eq!(w[1].at - w[0].at, t);
+        }
+        assert!((s.mean_rate_bps().unwrap() - 32_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn monotone_emissions() {
+        let mut rng = SimRng::seed_from(17);
+        let mut s = OnOffSource::new(paper_cfg(88));
+        let mut prev = Time::ZERO;
+        for _ in 0..10_000 {
+            let e = s.next_emission(&mut rng).unwrap();
+            assert!(e.at >= prev);
+            prev = e.at;
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # leave-in-time — facade crate
+//!
+//! One-stop re-export of the whole Leave-in-Time workspace, so examples and
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use leave_in_time::prelude::*;
+//! ```
+//!
+//! The layering underneath (each crate usable on its own):
+//!
+//! * [`sim`] — deterministic discrete-event kernel (time, event queue, RNG);
+//! * [`traffic`] — ON-OFF / Poisson / Deterministic / token-bucket sources;
+//! * [`net`] — packet network substrate and the [`net::Discipline`] trait;
+//! * [`core`] — the paper's contribution: the Leave-in-Time discipline,
+//!   delay regulators, admission control, and analytic service bounds;
+//! * [`baselines`] — FCFS, VirtualClock, WFQ, SCFQ, Stop-and-Go;
+//! * [`analysis`] — M/D/1 delay distribution, histograms, CCDFs.
+
+#![forbid(unsafe_code)]
+
+pub use lit_analysis as analysis;
+pub use lit_baselines as baselines;
+pub use lit_core as core;
+pub use lit_net as net;
+pub use lit_sim as sim;
+pub use lit_traffic as traffic;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use lit_sim::{Duration, EventQueue, SeedSeq, SimRng, Time};
+}
