@@ -1,53 +1,72 @@
 //! Future-event-set throughput: the simulator's hottest structure.
 //!
-//! Patterns benched:
+//! Every pattern runs under both [`EventBackend`]s — the default binary
+//! heap and the opt-in calendar ring — so the O(log n) vs amortized-O(1)
+//! crossover is visible directly. Patterns benched:
+//!
 //! * `hold` — the classic hold model: at steady size N, pop one / push one
 //!   with a random increment (what a running simulation actually does);
 //! * `burst` — push N then drain N (network start-up / tear-down shape).
+//!
+//! The headline comparison is `hold` at N = 1 000 000: the calendar is
+//! expected to hold a ≥ 2× advantage there (see `results/BENCH_queues.json`
+//! written by the `bench_queues` binary for the tracked numbers).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lit_sim::{Duration, EventQueue, SimRng, Time};
+use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
 use std::hint::black_box;
+
+const BACKENDS: [(EventBackend, &str); 2] = [
+    (EventBackend::Heap, "heap"),
+    (EventBackend::Calendar, "calendar"),
+];
 
 fn hold(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue/hold");
-    for &n in &[64usize, 1024, 16_384] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            // Pre-fill to steady state.
-            let mut rng = SimRng::seed_from(9);
-            let mut q = EventQueue::with_capacity(n + 1);
-            let mut now = Time::ZERO;
-            for i in 0..n {
-                q.push(now + Duration::from_ns(rng.below(1_000_000)), i as u64);
-            }
-            b.iter(|| {
-                let (t, e) = q.pop().expect("steady state");
-                now = t;
-                q.push(now + Duration::from_ns(1 + rng.below(1_000_000)), e);
-                black_box(e)
+    // The 1e6 population needs a long pre-fill per sample; 20 samples keep
+    // the run bounded and the per-op noise floor far below the 2× margin.
+    g.sample_size(20);
+    for (backend, label) in BACKENDS {
+        for &n in &[100usize, 10_000, 1_000_000] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                // Pre-fill to steady state.
+                let mut rng = SimRng::seed_from(9);
+                let mut q = EventQueue::with_capacity_in(n + 1, backend);
+                let mut now = Time::ZERO;
+                for i in 0..n {
+                    q.push(now + Duration::from_ns(rng.below(1_000_000)), i as u64);
+                }
+                b.iter(|| {
+                    let (t, e) = q.pop().expect("steady state");
+                    now = t;
+                    q.push(now + Duration::from_ns(1 + rng.below(1_000_000)), e);
+                    black_box(e)
+                });
             });
-        });
+        }
     }
     g.finish();
 }
 
 fn burst(c: &mut Criterion) {
     let mut g = c.benchmark_group("event_queue/burst");
-    for &n in &[1024usize, 16_384] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut rng = SimRng::seed_from(5);
-                let mut q = EventQueue::with_capacity(n);
-                for i in 0..n {
-                    q.push(Time::from_ns(rng.below(1_000_000_000)), i as u64);
-                }
-                let mut sum = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    sum = sum.wrapping_add(e);
-                }
-                black_box(sum)
+    for (backend, label) in BACKENDS {
+        for &n in &[1024usize, 16_384] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut rng = SimRng::seed_from(5);
+                    let mut q = EventQueue::with_capacity_in(n, backend);
+                    for i in 0..n {
+                        q.push(Time::from_ns(rng.below(1_000_000_000)), i as u64);
+                    }
+                    let mut sum = 0u64;
+                    while let Some((_, e)) = q.pop() {
+                        sum = sum.wrapping_add(e);
+                    }
+                    black_box(sum)
+                });
             });
-        });
+        }
     }
     g.finish();
 }

@@ -45,6 +45,7 @@ mod stats;
 
 pub use discipline::{Discipline, DisciplineFactory, ScheduleDecision};
 pub use equeue::QueueKind;
+pub use lit_sim::EventBackend;
 pub use network::{Network, NetworkBuilder};
 pub use packet::{NodeId, Packet, SessionId};
 pub use spec::{DelayAssignment, LinkParams, SessionSpec};
@@ -322,6 +323,34 @@ mod tests {
             assert_eq!(x.max_delay(), y.max_delay());
             assert_eq!(x.jitter(), y.jitter());
         }
+    }
+
+    #[test]
+    fn calendar_event_backend_matches_heap() {
+        // The event-set engine is a pure performance knob: both backends
+        // must pop the identical (time, seq) sequence, so a whole run —
+        // regulator holds, contention, RNG draws and all — is bit-equal.
+        let run = |backend: EventBackend| {
+            let mut b = NetworkBuilder::new().seed(21).event_backend(backend);
+            let nodes = b.tandem(3, LinkParams::paper_t1());
+            let mut sids = Vec::new();
+            for _ in 0..8 {
+                sids.push(b.add_session(
+                    SessionSpec::atm(SessionId(0), 150_000),
+                    &nodes,
+                    Box::new(PoissonSource::new(Duration::from_ms(4), 424)),
+                ));
+            }
+            let mut net = b.build(&fifo_factory(Duration::from_us(30)));
+            net.run_until(Time::from_secs(10));
+            sids.iter()
+                .map(|&s| {
+                    let st = net.session_stats(s);
+                    (st.delivered, st.max_delay(), st.jitter())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(EventBackend::Heap), run(EventBackend::Calendar));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::equeue::{EligibleQueue, QueueKind};
 use crate::packet::{NodeId, Packet, SessionId};
 use crate::spec::{DelayAssignment, LinkParams, SessionSpec};
 use crate::stats::{DeliveryRecord, NodeStats, SessionStats, StatsConfig};
-use lit_sim::{Duration, EventQueue, SeedSeq, SimRng, Time};
+use lit_sim::{Duration, EventBackend, EventQueue, SeedSeq, SimRng, Time};
 use lit_traffic::{Emission, Source};
 /// Runtime state of one server node.
 struct NodeRt {
@@ -69,6 +69,7 @@ pub struct NetworkBuilder {
     stats_cfg: StatsConfig,
     master_seed: u64,
     queue_kind: QueueKind,
+    event_backend: EventBackend,
 }
 
 impl Default for NetworkBuilder {
@@ -86,6 +87,7 @@ impl NetworkBuilder {
             stats_cfg: StatsConfig::default(),
             master_seed: 0,
             queue_kind: QueueKind::Exact,
+            event_backend: EventBackend::default(),
         }
     }
 
@@ -93,6 +95,15 @@ impl NetworkBuilder {
     /// (default: exact deadline order). See [`QueueKind`].
     pub fn queue_kind(mut self, kind: QueueKind) -> Self {
         self.queue_kind = kind;
+        self
+    }
+
+    /// Select the engine of the future-event set (default:
+    /// [`EventBackend::Heap`]). Both backends pop the identical event
+    /// sequence, so this is purely a performance knob; the calendar pays
+    /// off on large event populations.
+    pub fn event_backend(mut self, backend: EventBackend) -> Self {
+        self.event_backend = backend;
         self
     }
 
@@ -173,7 +184,7 @@ impl NetworkBuilder {
             .collect();
 
         let mut seeds = SeedSeq::new(self.master_seed);
-        let mut events = EventQueue::new();
+        let mut events = EventQueue::with_backend(self.event_backend);
         let mut session_stats = Vec::with_capacity(self.sessions.len());
         let mut sessions: Vec<SessionRt> = Vec::with_capacity(self.sessions.len());
 

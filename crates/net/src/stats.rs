@@ -125,6 +125,26 @@ impl OccupancyHistogram {
             .collect()
     }
 
+    /// Merge another histogram with identical bin layout into this one
+    /// (used to pool replica runs into one distribution).
+    ///
+    /// # Panics
+    /// Panics on mismatched bin width or bin count.
+    pub fn merge(&mut self, other: &OccupancyHistogram) {
+        assert_eq!(self.bin_bits, other.bin_bits, "merge: bin width mismatch");
+        assert_eq!(
+            self.bins.len(),
+            other.bins.len(),
+            "merge: bin count mismatch"
+        );
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.max_bits = self.max_bits.max(other.max_bits);
+    }
+
     /// Upper estimate of `P(occupancy > bits)`: samples in the bin
     /// containing `bits` count as exceeding it (conservative in the
     /// direction needed when comparing against analytic upper bounds).
@@ -322,6 +342,33 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         assert_eq!(c.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn occupancy_merge_pools_counts_and_max() {
+        let mut a = OccupancyHistogram::new(100, 4);
+        a.record(50);
+        a.record(150);
+        let mut b = OccupancyHistogram::new(100, 4);
+        b.record(150);
+        b.record(999); // overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max_bits(), 999);
+        let pdf = a.pdf();
+        assert_eq!(pdf[0], (0, 0.25));
+        assert_eq!(pdf[1], (100, 0.5));
+        // Merging an empty histogram is a no-op.
+        let before = a.pdf();
+        a.merge(&OccupancyHistogram::new(100, 4));
+        assert_eq!(a.pdf(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin width mismatch")]
+    fn occupancy_merge_rejects_mismatched_layout() {
+        let mut a = OccupancyHistogram::new(100, 4);
+        a.merge(&OccupancyHistogram::new(200, 4));
     }
 
     #[test]

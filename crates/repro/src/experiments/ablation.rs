@@ -9,7 +9,7 @@
 //! `hops × bucket` — measured here alongside the wall-clock cost of each
 //! queue.
 
-use super::common::{build_cross_onoff_queued, max_lateness_fraction, RunConfig};
+use super::common::{build_cross_onoff_queued, max_lateness_fraction, run_points, RunConfig};
 use crate::report::{ms, Table};
 use lit_net::QueueKind;
 use lit_sim::Duration;
@@ -33,16 +33,18 @@ pub struct AblationRow {
 }
 
 /// Run the ablation: exact, then bucket widths of 0.1 ms, 1 ms, and one
-/// full cell time at the session rate (13.25 ms).
+/// full cell time at the session rate (13.25 ms). The four configurations
+/// run on the worker pool; each row's wall clock is measured inside its
+/// own worker, so with `--threads 1` the timings stay contention-free
+/// (the mode to use when the wall column matters).
 pub fn run(cfg: &RunConfig) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
     let cases = [
         None,
         Some(Duration::from_us(100)),
         Some(Duration::from_ms(1)),
         Some(Duration::from_us(13_250)),
     ];
-    for bucket in cases {
+    run_points(cfg, &cases, |_, &bucket| {
         let kind = match bucket {
             None => QueueKind::Exact,
             Some(b) => QueueKind::Bucketed { bucket: b },
@@ -52,16 +54,15 @@ pub fn run(cfg: &RunConfig) -> Vec<AblationRow> {
         net.run_until(cfg.horizon(600));
         let wall = started.elapsed().as_secs_f64();
         let st = net.session_stats(no_jc);
-        rows.push(AblationRow {
+        AblationRow {
             bucket,
             max_delay: st.max_delay().unwrap_or(Duration::ZERO),
             jitter: st.jitter().unwrap_or(Duration::ZERO),
             jitter_jc: net.session_stats(jc).jitter().unwrap_or(Duration::ZERO),
             lateness_fraction: max_lateness_fraction(&net),
             wall_seconds: wall,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Render the ablation as a table.

@@ -2,21 +2,25 @@
 //! session setup for the MIX and CROSS configurations, and bound helpers.
 
 use crate::topology::{cross_routes, five_hop, mix_routes, paper_tandem};
+use lit_analysis::DurationHistogram;
 use lit_core::{
     ClassedAdmission, DRule, DelayClass, LitDiscipline, PathBounds, Procedure, SessionRequest,
 };
 use lit_net::{
-    DelayAssignment, Network, NetworkBuilder, QueueKind, SessionId, SessionSpec, StatsConfig,
+    DelayAssignment, Network, NetworkBuilder, OccupancyHistogram, QueueKind, SessionId,
+    SessionSpec, SessionStats, StatsConfig,
 };
 use lit_sim::{Duration, Time};
 use lit_traffic::{DeterministicSource, OnOffConfig, OnOffSource, PoissonSource, ATM_CELL_BITS};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// T1 capacity, bits per second.
 pub const T1_BPS: u64 = 1_536_000;
 /// The standard 32 kbit/s reservation of the paper's ON-OFF/CBR sessions.
 pub const VOICE_BPS: u64 = 32_000;
 
-/// How long to simulate and with which master seed.
+/// How long to simulate, with which master seed, and how to spread
+/// independent runs over worker threads.
 #[derive(Clone, Copy, Debug)]
 pub struct RunConfig {
     /// Override of the experiment's paper-specified duration (seconds of
@@ -24,6 +28,15 @@ pub struct RunConfig {
     pub seconds: Option<u64>,
     /// Master seed; every session derives its own stream from it.
     pub seed: u64,
+    /// Worker-thread count for [`run_points`]; `None` uses every
+    /// available core. Thread count never changes results — only
+    /// wall-clock time.
+    pub threads: Option<usize>,
+    /// Independent repetitions of the single-run distribution experiments
+    /// (Figures 8–13 and the heavy-tail extension), pooled into one set
+    /// of histograms. Replica `r` runs with [`replica_seed`]`(seed, r)`,
+    /// so replica 0 alone reproduces a `replicas = 1` run exactly.
+    pub replicas: u32,
 }
 
 impl RunConfig {
@@ -32,14 +45,18 @@ impl RunConfig {
         RunConfig {
             seconds: None,
             seed: 0x5EED_1995,
+            threads: None,
+            replicas: 1,
         }
     }
 
-    /// A fast configuration for tests and smoke runs.
+    /// A fast configuration for tests and smoke runs: reduced horizon,
+    /// several pooled replicas so the distribution tails still fill in.
     pub fn quick() -> Self {
         RunConfig {
             seconds: Some(20),
-            seed: 0x5EED_1995,
+            replicas: 4,
+            ..RunConfig::paper()
         }
     }
 
@@ -47,6 +64,162 @@ impl RunConfig {
     /// `paper_seconds`.
     pub fn horizon(&self, paper_seconds: u64) -> Time {
         Time::from_secs(self.seconds.unwrap_or(paper_seconds))
+    }
+
+    /// Number of worker threads [`run_points`] will use.
+    pub fn worker_count(&self) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+            })
+            .max(1)
+    }
+
+    /// The replica master seeds of this configuration, in replica order.
+    pub fn replica_seeds(&self) -> Vec<u64> {
+        (0..self.replicas.max(1))
+            .map(|r| replica_seed(self.seed, r))
+            .collect()
+    }
+}
+
+/// Master seed of replica `r`: the configured seed itself for replica 0
+/// (so single-replica runs are unchanged), an independent SplitMix64
+/// derivation for the rest.
+pub fn replica_seed(master: u64, replica: u32) -> u64 {
+    if replica == 0 {
+        return master;
+    }
+    // SplitMix64 output function over (master, replica) — statistically
+    // independent streams without any shared state between replicas.
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(replica as u64));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run every item of a sweep through `f` on a pool of
+/// [`RunConfig::worker_count`] worker threads, preserving input order in
+/// the output.
+///
+/// Determinism: item `i` always computes `f(i, &items[i])` with no shared
+/// state, and results are reassembled by index — so the output is
+/// byte-identical for any thread count, including 1 (where the pool is
+/// skipped entirely). Workers claim items from a shared atomic counter,
+/// so an expensive item does not leave a whole stripe of the sweep on
+/// one thread.
+pub fn run_points<P, R, F>(cfg: &RunConfig, items: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(usize, &P) -> R + Sync,
+{
+    let n = items.len();
+    let workers = cfg.worker_count().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(n).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every sweep item computed"))
+        .collect()
+}
+
+/// Distribution statistics of one tagged session, pooled across replicas.
+///
+/// Histograms add bin-by-bin ([`DurationHistogram::merge`] /
+/// [`OccupancyHistogram::merge`]); counters add; extrema take the max.
+/// With one replica this is a plain copy of the session's stats.
+#[derive(Clone, Debug)]
+pub struct PooledSession {
+    /// Total delivered packets across replicas.
+    pub delivered: u64,
+    /// Pooled end-to-end delay distribution.
+    pub e2e: DurationHistogram,
+    /// Pooled co-simulated reference-server distribution.
+    pub reference: DurationHistogram,
+    /// Pooled first-hop buffer occupancy.
+    pub buffer_first: OccupancyHistogram,
+    /// Pooled last-hop buffer occupancy.
+    pub buffer_last: OccupancyHistogram,
+    /// Largest `D_i − D_i^ref` (signed ps) over all replicas.
+    pub max_excess_ps: i128,
+}
+
+impl PooledSession {
+    /// Snapshot one session's stats from one finished run.
+    pub fn from_stats(st: &SessionStats) -> Self {
+        let last = st.buffer.len() - 1;
+        PooledSession {
+            delivered: st.delivered,
+            e2e: st.e2e.clone(),
+            reference: st.reference.clone(),
+            buffer_first: st.buffer[0].clone(),
+            buffer_last: st.buffer[last].clone(),
+            max_excess_ps: st.max_excess_ps,
+        }
+    }
+
+    /// Pool another replica's snapshot into this one.
+    pub fn absorb(&mut self, other: &PooledSession) {
+        self.delivered += other.delivered;
+        self.e2e.merge(&other.e2e);
+        self.reference.merge(&other.reference);
+        self.buffer_first.merge(&other.buffer_first);
+        self.buffer_last.merge(&other.buffer_last);
+        self.max_excess_ps = self.max_excess_ps.max(other.max_excess_ps);
+    }
+
+    /// Pool a whole replica set (one snapshot per replica, `≥ 1`).
+    pub fn pool(mut snapshots: Vec<PooledSession>) -> PooledSession {
+        let mut first = snapshots.remove(0);
+        for s in &snapshots {
+            first.absorb(s);
+        }
+        first
+    }
+
+    /// Largest pooled end-to-end delay.
+    pub fn max_delay(&self) -> Option<Duration> {
+        self.e2e.max()
+    }
+
+    /// Pooled jitter (max − min delay).
+    pub fn jitter(&self) -> Option<Duration> {
+        self.e2e.spread()
+    }
+
+    /// Pooled mean delay.
+    pub fn mean_delay(&self) -> Option<Duration> {
+        self.e2e.mean()
     }
 }
 

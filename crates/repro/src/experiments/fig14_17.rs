@@ -12,7 +12,7 @@
 //! rate.
 
 use super::common::{
-    build_mix_ac2, build_mix_classed, max_lateness_fraction, voice_bounds, RunConfig,
+    build_mix_ac2, build_mix_classed, max_lateness_fraction, run_points, voice_bounds, RunConfig,
     A_OFF_SWEEP_US,
 };
 use crate::report::{ms, Table};
@@ -78,17 +78,10 @@ pub fn point(cfg: &RunConfig, a_off: Duration) -> Fig14Point {
     }
 }
 
-/// Run the full sweep.
+/// Run the full sweep on the shared worker pool.
 pub fn run(cfg: &RunConfig) -> Vec<Fig14Point> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = A_OFF_SWEEP_US
-            .iter()
-            .map(|&us| s.spawn(move || point(cfg, Duration::from_us(us))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker"))
-            .collect()
+    run_points(cfg, &A_OFF_SWEEP_US, |_, &us| {
+        point(cfg, Duration::from_us(us))
     })
 }
 

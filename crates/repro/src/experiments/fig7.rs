@@ -7,7 +7,7 @@
 //! (≈ 72.6 ms) and is largely insensitive to utilization.
 
 use super::common::{
-    build_mix_one_class, max_lateness_fraction, voice_bounds, RunConfig, A_OFF_SWEEP_US,
+    build_mix_one_class, max_lateness_fraction, run_points, voice_bounds, RunConfig, A_OFF_SWEEP_US,
 };
 use crate::report::{ms, Table};
 use lit_net::NodeId;
@@ -69,18 +69,11 @@ pub fn point(cfg: &RunConfig, a_off: Duration) -> Fig7Point {
     }
 }
 
-/// Run the full sweep.
+/// Run the full sweep. Points are independent simulations; the shared
+/// worker pool spreads them over [`RunConfig::worker_count`] threads.
 pub fn run(cfg: &RunConfig) -> Vec<Fig7Point> {
-    // Points are independent simulations; run them on worker threads.
-    std::thread::scope(|s| {
-        let handles: Vec<_> = A_OFF_SWEEP_US
-            .iter()
-            .map(|&us| s.spawn(move || point(cfg, Duration::from_us(us))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker"))
-            .collect()
+    run_points(cfg, &A_OFF_SWEEP_US, |_, &us| {
+        point(cfg, Duration::from_us(us))
     })
 }
 

@@ -10,7 +10,9 @@
 //!   the first and last nodes, against the calculated bounds (observed max
 //!   within about two packets of the bound).
 
-use super::common::{build_cross_onoff, max_lateness_fraction, voice_bounds, RunConfig};
+use super::common::{
+    build_cross_onoff, max_lateness_fraction, run_points, voice_bounds, PooledSession, RunConfig,
+};
 use crate::report::{frac, ms, Table};
 use lit_net::{Network, SessionId};
 use lit_sim::Duration;
@@ -60,39 +62,90 @@ pub struct BufferSummary {
     pub pdf: Vec<(u64, f64)>,
 }
 
-fn summarize(net: &Network, id: SessionId, jc: bool) -> SessionSummary {
-    let st = net.session_stats(id);
+/// Analytic bounds of one tagged session. Bounds depend only on the
+/// admission sequence, which is identical in every replica.
+#[derive(Clone, Copy, Debug)]
+struct SessionBounds {
+    jitter_bound: Duration,
+    delay_bound: Duration,
+    buffer_first_bound: u64,
+    buffer_last_bound: u64,
+}
+
+fn bounds_of(net: &Network, id: SessionId, jc: bool) -> SessionBounds {
     let (pb, dref) = voice_bounds(net, id);
-    let last = pb.hops() - 1;
+    SessionBounds {
+        jitter_bound: pb.jitter_bound(dref, jc),
+        delay_bound: pb.delay_bound(dref),
+        buffer_first_bound: pb.buffer_bound_bits(dref, 0, jc),
+        buffer_last_bound: pb.buffer_bound_bits(dref, pb.hops() - 1, jc),
+    }
+}
+
+fn summarize(pooled: &PooledSession, b: &SessionBounds, jc: bool) -> SessionSummary {
     SessionSummary {
         jitter_control: jc,
-        delivered: st.delivered,
-        jitter: st.jitter().unwrap_or(Duration::ZERO),
-        jitter_bound: pb.jitter_bound(dref, jc),
-        max_delay: st.max_delay().unwrap_or(Duration::ZERO),
-        delay_bound: pb.delay_bound(dref),
-        mean_delay: st.mean_delay().unwrap_or(Duration::ZERO),
-        delay_pdf: st.e2e.pdf(),
+        delivered: pooled.delivered,
+        jitter: pooled.jitter().unwrap_or(Duration::ZERO),
+        jitter_bound: b.jitter_bound,
+        max_delay: pooled.max_delay().unwrap_or(Duration::ZERO),
+        delay_bound: b.delay_bound,
+        mean_delay: pooled.mean_delay().unwrap_or(Duration::ZERO),
+        delay_pdf: pooled.e2e.pdf(),
         buffer_first: BufferSummary {
-            max_bits: st.buffer[0].max_bits(),
-            bound_bits: pb.buffer_bound_bits(dref, 0, jc),
-            pdf: st.buffer[0].pdf(),
+            max_bits: pooled.buffer_first.max_bits(),
+            bound_bits: b.buffer_first_bound,
+            pdf: pooled.buffer_first.pdf(),
         },
         buffer_last: BufferSummary {
-            max_bits: st.buffer[last].max_bits(),
-            bound_bits: pb.buffer_bound_bits(dref, last, jc),
-            pdf: st.buffer[last].pdf(),
+            max_bits: pooled.buffer_last.max_bits(),
+            bound_bits: b.buffer_last_bound,
+            pdf: pooled.buffer_last.pdf(),
         },
     }
 }
 
-/// Run the experiment.
+/// One replica's measurements: the two tagged sessions plus diagnostics.
+struct Replica {
+    sessions: [PooledSession; 2],
+    bounds: [SessionBounds; 2],
+    lateness_fraction: f64,
+}
+
+/// Run the experiment: [`RunConfig::replicas`] independent runs on the
+/// worker pool, pooled into one pair of session distributions.
 pub fn run(cfg: &RunConfig) -> Fig8Result {
-    let (mut net, no_jc, jc) = build_cross_onoff(cfg.seed);
-    net.run_until(cfg.horizon(600));
+    let seeds = cfg.replica_seeds();
+    let reps: Vec<Replica> = run_points(cfg, &seeds, |_, &seed| {
+        let (mut net, no_jc, jc) = build_cross_onoff(seed);
+        net.run_until(cfg.horizon(600));
+        Replica {
+            sessions: [
+                PooledSession::from_stats(net.session_stats(no_jc)),
+                PooledSession::from_stats(net.session_stats(jc)),
+            ],
+            bounds: [bounds_of(&net, no_jc, false), bounds_of(&net, jc, true)],
+            lateness_fraction: max_lateness_fraction(&net),
+        }
+    });
+    let bounds = reps[0].bounds;
+    let lateness_fraction = reps
+        .iter()
+        .map(|r| r.lateness_fraction)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let mut per_session: [Vec<PooledSession>; 2] = [Vec::new(), Vec::new()];
+    for rep in reps {
+        let [a, b] = rep.sessions;
+        per_session[0].push(a);
+        per_session[1].push(b);
+    }
+    let [no_jc_snaps, jc_snaps] = per_session;
     Fig8Result {
-        sessions: [summarize(&net, no_jc, false), summarize(&net, jc, true)],
-        lateness_fraction: max_lateness_fraction(&net),
+        sessions: [
+            summarize(&PooledSession::pool(no_jc_snaps), &bounds[0], false),
+            summarize(&PooledSession::pool(jc_snaps), &bounds[1], true),
+        ],
+        lateness_fraction,
     }
 }
 

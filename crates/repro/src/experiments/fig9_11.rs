@@ -19,7 +19,9 @@
 //! is loose (low reserved rate inflates β); Fig. 11 shows the same session
 //! tight again under CBR cross traffic.
 
-use super::common::{build_cross_poisson, max_lateness_fraction, CrossTraffic, RunConfig};
+use super::common::{
+    build_cross_poisson, max_lateness_fraction, run_points, CrossTraffic, PooledSession, RunConfig,
+};
 use crate::report::{frac, Table};
 use lit_analysis::Md1;
 use lit_core::PathBounds;
@@ -120,14 +122,29 @@ impl DistResult {
     }
 }
 
-/// Run one of Figures 9–11.
+/// Run one of Figures 9–11: [`RunConfig::replicas`] independent runs on
+/// the worker pool, pooled into one empirical distribution before the
+/// CCDF grid is evaluated.
 pub fn run(cfg: &RunConfig, variant: Variant) -> DistResult {
     let (rate, gap) = variant.session();
-    let (mut net, tagged) = build_cross_poisson(rate, gap, variant.cross(), cfg.seed);
-    net.run_until(cfg.horizon(600));
+    let seeds = cfg.replica_seeds();
+    let reps: Vec<(PooledSession, PathBounds, f64)> = run_points(cfg, &seeds, |_, &seed| {
+        let (mut net, tagged) = build_cross_poisson(rate, gap, variant.cross(), seed);
+        net.run_until(cfg.horizon(600));
+        (
+            PooledSession::from_stats(net.session_stats(tagged)),
+            PathBounds::for_session(&net, tagged),
+            max_lateness_fraction(&net),
+        )
+    });
+    // Bounds depend only on admission, identical in every replica.
+    let pb = reps[0].1.clone();
+    let lateness_fraction = reps
+        .iter()
+        .map(|&(_, _, l)| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let st = PooledSession::pool(reps.into_iter().map(|(s, _, _)| s).collect());
 
-    let st = net.session_stats(tagged);
-    let pb = PathBounds::for_session(&net, tagged);
     let service = Duration::from_bits_at_rate(ATM_CELL_BITS as u64, rate);
     let md1 = Md1::from_mean_gap(gap, service);
     let shift = Duration::from_ps(pb.shift_ps().max(0) as u64);
@@ -161,7 +178,7 @@ pub fn run(cfg: &RunConfig, variant: Variant) -> DistResult {
         shift,
         points,
         delivered: st.delivered,
-        lateness_fraction: max_lateness_fraction(&net),
+        lateness_fraction,
     }
 }
 

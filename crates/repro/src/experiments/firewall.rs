@@ -13,7 +13,9 @@
 //! hold packets near the bound) but its jitter is tiny; RCSP's static
 //! priority gives the lowest raw delay.
 
-use super::common::{max_lateness_fraction, voice_bounds, RunConfig, T1_BPS, VOICE_BPS};
+use super::common::{
+    max_lateness_fraction, run_points, voice_bounds, RunConfig, T1_BPS, VOICE_BPS,
+};
 use crate::report::{ms, Table};
 use crate::topology::{cross_routes, five_hop, paper_tandem};
 use lit_baselines::{
@@ -85,38 +87,51 @@ fn run_one(factory: &DisciplineFactory<'_>, name: &'static str, cfg: &RunConfig)
     }
 }
 
-/// Run the firewall comparison across all five disciplines.
+/// The disciplines of the comparison, in table order.
+pub const DISCIPLINES: [&str; 9] = [
+    "fcfs",
+    "leave-in-time",
+    "virtualclock",
+    "wfq",
+    "scfq",
+    "delay-edd",
+    "jitter-edd",
+    "rcsp",
+    "hrr",
+];
+
+/// A factory for one discipline by name. Built fresh inside each worker
+/// so the rows can run concurrently (factories are not `Sync`).
+fn make_factory(name: &str) -> Box<DisciplineFactory<'static>> {
+    match name {
+        "fcfs" => Box::new(FcfsDiscipline::factory()),
+        "leave-in-time" => Box::new(|l: &LinkParams| {
+            Box::new(LitDiscipline::new(*l)) as Box<dyn lit_net::Discipline>
+        }),
+        "virtualclock" => Box::new(VirtualClockDiscipline::factory()),
+        "wfq" => Box::new(WfqDiscipline::factory()),
+        "scfq" => Box::new(ScfqDiscipline::factory()),
+        "delay-edd" => Box::new(EddDiscipline::factory(false)),
+        "jitter-edd" => Box::new(EddDiscipline::factory(true)),
+        // RCSP levels chosen so the 13.25 ms LenOverRate assignments land
+        // in the middle level.
+        "rcsp" => Box::new(RcspDiscipline::factory(vec![
+            Duration::from_ms(5),
+            Duration::from_ms(20),
+            Duration::from_ms(100),
+        ])),
+        // 48-slot frames = 13.25 ms, one slot per 32 kbit/s session.
+        "hrr" => Box::new(HrrDiscipline::factory(48)),
+        other => panic!("unknown discipline {other}"),
+    }
+}
+
+/// Run the firewall comparison across all disciplines, one worker-pool
+/// item per discipline (the runs are fully independent).
 pub fn run(cfg: &RunConfig) -> Vec<FirewallRow> {
-    let lit = |l: &LinkParams| Box::new(LitDiscipline::new(*l)) as Box<dyn lit_net::Discipline>;
-    let fcfs = FcfsDiscipline::factory();
-    let vc = VirtualClockDiscipline::factory();
-    let wfq = WfqDiscipline::factory();
-    let scfq = ScfqDiscipline::factory();
-    let dedd = EddDiscipline::factory(false);
-    let jedd = EddDiscipline::factory(true);
-    // RCSP levels chosen so the 13.25 ms LenOverRate assignments land in
-    // the middle level.
-    let rcsp = RcspDiscipline::factory(vec![
-        Duration::from_ms(5),
-        Duration::from_ms(20),
-        Duration::from_ms(100),
-    ]);
-    // 48-slot frames = 13.25 ms, one slot per 32 kbit/s session.
-    let hrr = HrrDiscipline::factory(48);
-    let runs: Vec<(&DisciplineFactory<'_>, &'static str)> = vec![
-        (&fcfs, "fcfs"),
-        (&lit, "leave-in-time"),
-        (&vc, "virtualclock"),
-        (&wfq, "wfq"),
-        (&scfq, "scfq"),
-        (&dedd, "delay-edd"),
-        (&jedd, "jitter-edd"),
-        (&rcsp, "rcsp"),
-        (&hrr, "hrr"),
-    ];
-    runs.into_iter()
-        .map(|(f, name)| run_one(f, name, cfg))
-        .collect()
+    run_points(cfg, &DISCIPLINES, |_, &name| {
+        run_one(&*make_factory(name), name, cfg)
+    })
 }
 
 /// Render the comparison.

@@ -13,7 +13,7 @@
 //! shifted co-simulated reference CCDF. There is no analytic column —
 //! that is the point.
 
-use super::common::{max_lateness_fraction, RunConfig, T1_BPS};
+use super::common::{max_lateness_fraction, run_points, PooledSession, RunConfig, T1_BPS};
 use crate::report::{frac, Table};
 use crate::topology::{cross_routes, five_hop, paper_tandem};
 use lit_core::{ClassedAdmission, DRule, LitDiscipline, PathBounds, SessionRequest};
@@ -48,10 +48,9 @@ pub struct HeavyTailResult {
     pub lateness_fraction: f64,
 }
 
-/// Run the heavy-tail extension on the CROSS topology (default horizon
-/// 10 minutes, as Figures 9–11).
-pub fn run(cfg: &RunConfig) -> HeavyTailResult {
-    let mut b = NetworkBuilder::new().seed(cfg.seed);
+/// Build the heavy-tail CROSS network for one replica seed.
+fn build(seed: u64) -> (lit_net::Network, SessionId) {
+    let mut b = NetworkBuilder::new().seed(seed);
     let nodes = paper_tandem(&mut b);
     let mut admission: Vec<ClassedAdmission> = nodes
         .iter()
@@ -98,11 +97,31 @@ pub fn run(cfg: &RunConfig) -> HeavyTailResult {
         );
     }
 
-    let mut net = b.build(&LitDiscipline::factory());
-    net.run_until(cfg.horizon(600));
+    let net = b.build(&LitDiscipline::factory());
+    (net, tagged)
+}
 
-    let st = net.session_stats(tagged);
-    let pb = PathBounds::for_session(&net, tagged);
+/// Run the heavy-tail extension on the CROSS topology (default horizon
+/// 10 minutes, as Figures 9–11): [`RunConfig::replicas`] independent
+/// runs on the worker pool, pooled into one distribution.
+pub fn run(cfg: &RunConfig) -> HeavyTailResult {
+    let seeds = cfg.replica_seeds();
+    let reps: Vec<(PooledSession, PathBounds, f64)> = run_points(cfg, &seeds, |_, &seed| {
+        let (mut net, tagged) = build(seed);
+        net.run_until(cfg.horizon(600));
+        (
+            PooledSession::from_stats(net.session_stats(tagged)),
+            PathBounds::for_session(&net, tagged),
+            max_lateness_fraction(&net),
+        )
+    });
+    let pb = reps[0].1.clone();
+    let lateness_fraction = reps
+        .iter()
+        .map(|&(_, _, l)| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let st = PooledSession::pool(reps.into_iter().map(|(s, _, _)| s).collect());
+
     let top = st.max_delay().unwrap_or(Duration::ZERO) + Duration::from_ms(20);
     let mut points = Vec::new();
     let mut d = Duration::ZERO;
@@ -117,9 +136,13 @@ pub fn run(cfg: &RunConfig) -> HeavyTailResult {
     HeavyTailResult {
         points,
         delivered: st.delivered,
-        max_excess_ps: st.max_excess().unwrap_or(i128::MIN),
+        max_excess_ps: if st.delivered > 0 {
+            st.max_excess_ps
+        } else {
+            i128::MIN
+        },
         shift_ps: pb.shift_ps(),
-        lateness_fraction: max_lateness_fraction(&net),
+        lateness_fraction,
     }
 }
 

@@ -11,4 +11,4 @@ pub mod firewall;
 pub mod heavytail;
 pub mod tables;
 
-pub use common::RunConfig;
+pub use common::{replica_seed, run_points, PooledSession, RunConfig};

@@ -1,7 +1,7 @@
 //! `lit-repro` — regenerate the paper's figures and tables.
 //!
 //! ```text
-//! lit-repro [--quick] [--seed N] [--out DIR] <command>
+//! lit-repro [--quick] [--seed N] [--threads N] [--replicas N] [--out DIR] <command>
 //!
 //! commands:
 //!   fig7        max delay/jitter sweep, MIX ON-OFF, AC1/one class
@@ -17,10 +17,13 @@
 //!   all         everything above
 //! ```
 //!
-//! `--quick` shrinks every run to ~20 simulated seconds for smoke tests;
-//! the default reproduces the paper's 5/10-minute horizons. Tables print
-//! to stdout and are also written as CSV under `--out` (default
-//! `results/`).
+//! `--quick` shrinks every run to ~20 simulated seconds and pools 4
+//! replicas per distribution experiment for smoke tests; the default
+//! reproduces the paper's 5/10-minute horizons with a single replica.
+//! Independent runs (sweep points, disciplines, replicas) spread over
+//! `--threads N` workers (default: all cores); the thread count never
+//! changes results, only wall-clock time. Tables print to stdout and are
+//! also written as CSV under `--out` (default `results/`).
 
 use lit_repro::experiments::{
     ablation, fig14_17, fig7, fig8, fig9_11, firewall, heavytail, tables, RunConfig,
@@ -40,34 +43,58 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lit-repro [--quick] [--seconds N] [--seed N] [--out DIR] \
+        "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] \
          <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>"
     );
     std::process::exit(2);
 }
 
 fn parse_args() -> Args {
-    let mut cfg = RunConfig::paper();
+    let mut quick = false;
+    let mut seconds = None;
+    let mut seed = None;
+    let mut threads = None;
+    let mut replicas = None;
     let mut out = PathBuf::from("results");
     let mut command = None;
     let mut extra = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
         match arg.as_str() {
-            "--quick" => cfg.seconds = Some(20),
-            "--seconds" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                cfg.seconds = Some(v.parse().unwrap_or_else(|_| usage()));
-            }
-            "--seed" => {
-                let v = it.next().unwrap_or_else(|| usage());
-                cfg.seed = v.parse().unwrap_or_else(|_| usage());
-            }
+            "--quick" => quick = true,
+            "--seconds" => seconds = Some(num(&mut it)),
+            "--seed" => seed = Some(num(&mut it)),
+            "--threads" => threads = Some(num(&mut it).max(1) as usize),
+            "--replicas" => replicas = Some(num(&mut it).max(1) as u32),
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             c if !c.starts_with('-') => extra.push(c.to_string()),
             _ => usage(),
         }
+    }
+    // --quick selects the reduced preset (20 s horizon, 4 pooled
+    // replicas); explicit flags override it regardless of order.
+    let mut cfg = if quick {
+        RunConfig::quick()
+    } else {
+        RunConfig::paper()
+    };
+    if let Some(s) = seconds {
+        cfg.seconds = Some(s);
+    }
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(t) = threads {
+        cfg.threads = Some(t);
+    }
+    if let Some(r) = replicas {
+        cfg.replicas = r;
     }
     Args {
         cfg,
@@ -209,8 +236,11 @@ fn main() -> ExitCode {
         None => "paper horizons (5/10 min)".to_string(),
     };
     eprintln!(
-        "lit-repro: {} | seed {} | horizon {mode}",
-        args.command, args.cfg.seed
+        "lit-repro: {} | seed {} | horizon {mode} | {} worker thread(s) | {} replica(s)",
+        args.command,
+        args.cfg.seed,
+        args.cfg.worker_count(),
+        args.cfg.replicas.max(1),
     );
     if run_command(&args.command, &args.cfg, &args.out) {
         ExitCode::SUCCESS

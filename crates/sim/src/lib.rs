@@ -7,7 +7,11 @@
 //! * [`Time`] / [`Duration`] — picosecond fixed-point simulated time with
 //!   exact-enough rate arithmetic ([`Duration::from_bits_at_rate`]);
 //! * [`EventQueue`] — the future-event set, FIFO-stable among same-time
-//!   events so runs are bit-reproducible;
+//!   events so runs are bit-reproducible, with a pluggable engine
+//!   ([`EventBackend`]): binary heap by default, amortized-O(1)
+//!   [`CalendarQueue`] ring opt-in;
+//! * [`KeyedEntry`] — the shared reversed-`Ord` entry for FIFO-stable
+//!   min-heaps throughout the workspace;
 //! * [`SimRng`] / [`SeedSeq`] — per-component reproducible random streams.
 //!
 //! The kernel deliberately contains **no** networking concepts; nodes,
@@ -17,10 +21,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod calendar;
+mod entry;
 mod queue;
 mod rng;
 mod time;
 
-pub use queue::EventQueue;
+pub use calendar::CalendarQueue;
+pub use entry::KeyedEntry;
+pub use queue::{EventBackend, EventQueue};
 pub use rng::{SeedSeq, SimRng};
 pub use time::{Duration, Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};

@@ -6,40 +6,33 @@
 //! same-time ordering depend on heap internals, which would make runs
 //! non-reproducible across refactors; we break ties with a monotonically
 //! increasing sequence number instead.
+//!
+//! The queue has two interchangeable engines (see [`EventBackend`]):
+//! the default binary heap ([`KeyedEntry`] in a `BinaryHeap`, O(log n) per
+//! op, the long-standing bit-exact baseline) and the amortized-O(1)
+//! [`CalendarQueue`] ring. Both pop the identical `(time, seq)` sequence —
+//! the calendar is an *exact* structure, not the paper's approximate line
+//! -card variant — so the choice is purely a performance knob.
 
+use crate::calendar::CalendarQueue;
+use crate::entry::KeyedEntry;
 use crate::time::Time;
-use core::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A single scheduled entry: payload `E` due at `at`.
-struct Entry<E> {
-    at: Time,
-    seq: u64,
-    event: E,
+/// Which engine an [`EventQueue`] runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EventBackend {
+    /// Binary heap: O(log n) per op. The default, kept as the reference
+    /// implementation for bit-exact reproducibility of historical runs.
+    #[default]
+    Heap,
+    /// Ring-array calendar queue: amortized O(1) per op, same pop order.
+    Calendar,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+enum Inner<E> {
+    Heap(BinaryHeap<KeyedEntry<Time, E>>),
+    Calendar(CalendarQueue<E>),
 }
 
 /// The future-event set of a discrete-event simulation.
@@ -56,8 +49,20 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(q.pop(), Some((Time::from_ms(2), "late")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// The calendar backend pops the same sequence:
+///
+/// ```
+/// use lit_sim::{EventBackend, EventQueue, Time};
+///
+/// let mut q = EventQueue::with_backend(EventBackend::Calendar);
+/// q.push(Time::from_ms(2), "late");
+/// q.push(Time::from_ms(1), "early");
+/// assert_eq!(q.pop(), Some((Time::from_ms(1), "early")));
+/// assert_eq!(q.pop(), Some((Time::from_ms(2), "late")));
+/// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    inner: Inner<E>,
     next_seq: u64,
 }
 
@@ -68,19 +73,44 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue.
+    /// An empty queue on the default (heap) backend.
     pub fn new() -> Self {
+        Self::with_backend(EventBackend::Heap)
+    }
+
+    /// An empty queue on the chosen backend.
+    pub fn with_backend(backend: EventBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            inner: match backend {
+                EventBackend::Heap => Inner::Heap(BinaryHeap::new()),
+                EventBackend::Calendar => Inner::Calendar(CalendarQueue::new()),
+            },
             next_seq: 0,
         }
     }
 
-    /// An empty queue with room for `cap` events before reallocating.
+    /// An empty heap-backed queue with room for `cap` events before
+    /// reallocating.
     pub fn with_capacity(cap: usize) -> Self {
+        Self::with_capacity_in(cap, EventBackend::Heap)
+    }
+
+    /// An empty queue on the chosen backend, pre-sized for `cap` events.
+    pub fn with_capacity_in(cap: usize, backend: EventBackend) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            inner: match backend {
+                EventBackend::Heap => Inner::Heap(BinaryHeap::with_capacity(cap)),
+                EventBackend::Calendar => Inner::Calendar(CalendarQueue::with_capacity(cap)),
+            },
             next_seq: 0,
+        }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn backend(&self) -> EventBackend {
+        match self.inner {
+            Inner::Heap(_) => EventBackend::Heap,
+            Inner::Calendar(_) => EventBackend::Calendar,
         }
     }
 
@@ -92,27 +122,45 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Time, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        match &mut self.inner {
+            Inner::Heap(h) => h.push(KeyedEntry {
+                key: at,
+                seq,
+                item: event,
+            }),
+            // The calendar keeps its own monotone seq, incremented once
+            // per push just like ours, so FIFO order matches the heap's.
+            Inner::Calendar(c) => c.push(at.as_ps() as u128, event),
+        }
     }
 
     /// Remove and return the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        match &mut self.inner {
+            Inner::Heap(h) => h.pop().map(|e| (e.key, e.item)),
+            Inner::Calendar(c) => c.pop().map(|(k, e)| (Time::from_ps(k as u64), e)),
+        }
     }
 
     /// The due time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+        match &self.inner {
+            Inner::Heap(h) => h.peek().map(|e| e.key),
+            Inner::Calendar(c) => c.peek_key().map(|k| Time::from_ps(k as u64)),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Heap(h) => h.len(),
+            Inner::Calendar(c) => c.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever pushed (diagnostic counter).
@@ -122,7 +170,10 @@ impl<E> EventQueue<E> {
 
     /// Drop all pending events, keeping allocations.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        match &mut self.inner {
+            Inner::Heap(h) => h.clear(),
+            Inner::Calendar(c) => c.clear(),
+        }
     }
 }
 
@@ -131,62 +182,95 @@ mod tests {
     use super::*;
     use crate::time::Duration;
 
+    const BACKENDS: [EventBackend; 2] = [EventBackend::Heap, EventBackend::Calendar];
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        for i in (0..100u64).rev() {
-            q.push(Time::from_ms(i), i);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in (0..100u64).rev() {
+                q.push(Time::from_ms(i), i);
+            }
+            let mut prev = Time::ZERO;
+            let mut n = 0;
+            while let Some((t, e)) = q.pop() {
+                assert!(t >= prev);
+                assert_eq!(t, Time::from_ms(e));
+                prev = t;
+                n += 1;
+            }
+            assert_eq!(n, 100);
         }
-        let mut prev = Time::ZERO;
-        let mut n = 0;
-        while let Some((t, e)) = q.pop() {
-            assert!(t >= prev);
-            assert_eq!(t, Time::from_ms(e));
-            prev = t;
-            n += 1;
-        }
-        assert_eq!(n, 100);
     }
 
     #[test]
     fn fifo_among_ties() {
-        let mut q = EventQueue::new();
-        let t = Time::from_secs(1);
-        for i in 0..1000 {
-            q.push(t, i);
-        }
-        for i in 0..1000 {
-            assert_eq!(q.pop(), Some((t, i)));
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            let t = Time::from_secs(1);
+            for i in 0..1000 {
+                q.push(t, i);
+            }
+            for i in 0..1000 {
+                assert_eq!(q.pop(), Some((t, i)));
+            }
         }
     }
 
     #[test]
     fn interleaved_push_pop_stays_sorted() {
-        let mut q = EventQueue::new();
-        q.push(Time::from_ms(10), "a");
-        q.push(Time::from_ms(5), "b");
-        assert_eq!(q.pop().unwrap().1, "b");
-        q.push(Time::from_ms(7), "c");
-        q.push(Time::from_ms(6), "d");
-        assert_eq!(q.pop().unwrap().1, "d");
-        assert_eq!(q.pop().unwrap().1, "c");
-        assert_eq!(q.pop().unwrap().1, "a");
-        assert!(q.is_empty());
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(Time::from_ms(10), "a");
+            q.push(Time::from_ms(5), "b");
+            assert_eq!(q.pop().unwrap().1, "b");
+            q.push(Time::from_ms(7), "c");
+            q.push(Time::from_ms(6), "d");
+            assert_eq!(q.pop().unwrap().1, "d");
+            assert_eq!(q.pop().unwrap().1, "c");
+            assert_eq!(q.pop().unwrap().1, "a");
+            assert!(q.is_empty());
+        }
     }
 
     #[test]
     fn peek_and_counters() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.push(Time::from_ms(3), ());
-        q.push(Time::from_ms(1), ());
-        assert_eq!(q.peek_time(), Some(Time::from_ms(1)));
-        assert_eq!(q.len(), 2);
-        assert_eq!(q.pushed(), 2);
-        q.clear();
-        assert!(q.is_empty());
-        // seq keeps increasing after clear, preserving global FIFO.
-        q.push(Time::from_ms(1) + Duration::ZERO, ());
-        assert_eq!(q.pushed(), 3);
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            assert_eq!(q.peek_time(), None);
+            q.push(Time::from_ms(3), ());
+            q.push(Time::from_ms(1), ());
+            assert_eq!(q.peek_time(), Some(Time::from_ms(1)));
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pushed(), 2);
+            q.clear();
+            assert!(q.is_empty());
+            // seq keeps increasing after clear, preserving global FIFO.
+            q.push(Time::from_ms(1) + Duration::ZERO, ());
+            assert_eq!(q.pushed(), 3);
+        }
+    }
+
+    #[test]
+    fn backends_agree_with_sentinels() {
+        let mut heap = EventQueue::with_backend(EventBackend::Heap);
+        let mut cal = EventQueue::with_backend(EventBackend::Calendar);
+        let pushes = [
+            Time::from_ms(5),
+            Time::MAX,
+            Time::from_ms(5),
+            Time::ZERO,
+            Time::MAX,
+            Time::from_secs(3),
+        ];
+        for (i, &t) in pushes.iter().enumerate() {
+            heap.push(t, i);
+            cal.push(t, i);
+        }
+        for _ in 0..pushes.len() {
+            assert_eq!(heap.pop(), cal.pop());
+        }
+        assert_eq!(heap.pop(), None);
+        assert_eq!(cal.pop(), None);
     }
 }

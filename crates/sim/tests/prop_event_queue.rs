@@ -4,7 +4,7 @@
 //! interleaving of pushes and pops, the queue must agree with the model
 //! exactly — that is the determinism contract everything above relies on.
 
-use lit_sim::{Duration, EventQueue, SimRng, Time};
+use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
 use proptest::prelude::*;
 
 /// An operation against the queue.
@@ -19,6 +19,29 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
         prop_oneof![
             3 => (0u64..1_000_000).prop_map(Op::Push),
             1 => Just(Op::Pop),
+        ],
+        1..400,
+    )
+}
+
+/// Push times for the backend-agreement test: a narrow band (to force
+/// same-instant FIFO ties), a wide band, and far-future sentinels within
+/// a few ps of `Time::MAX` (the "never" markers long-running executors
+/// park in the queue).
+fn arb_times() -> impl Strategy<Value = Time> {
+    prop_oneof![
+        4 => (0u64..64).prop_map(|ps| Time::from_ps(ps * 1_000)),
+        3 => (0u64..1_000_000).prop_map(Time::from_us),
+        1 => (0u64..4).prop_map(|off| Time::from_ps(u64::MAX - off)),
+    ]
+}
+
+fn arb_backend_ops() -> impl Strategy<Value = Vec<Option<Time>>> {
+    // `Some(t)` = push at `t`, `None` = pop.
+    prop::collection::vec(
+        prop_oneof![
+            3 => arb_times().prop_map(Some),
+            1 => Just(None),
         ],
         1..400,
     )
@@ -60,6 +83,35 @@ proptest! {
             prop_assert_eq!(q.pop(), Some((t, v)));
         }
         prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn calendar_and_heap_backends_agree(ops in arb_backend_ops()) {
+        // The calendar ring is a pure engine swap: for ANY interleaving of
+        // pushes and pops — including same-instant FIFO ties and sentinel
+        // times at the far end of the clock — it must pop the exact
+        // (time, payload) sequence the binary heap pops.
+        let mut heap = EventQueue::with_backend(EventBackend::Heap);
+        let mut cal = EventQueue::with_backend(EventBackend::Calendar);
+        let mut idx = 0u64;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    heap.push(t, idx);
+                    cal.push(t, idx);
+                    idx += 1;
+                }
+                None => {
+                    prop_assert_eq!(heap.pop(), cal.pop());
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+        }
+        while !heap.is_empty() {
+            prop_assert_eq!(heap.pop(), cal.pop());
+        }
+        prop_assert_eq!(cal.pop(), None);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! The worker pool is a wall-clock knob, never a results knob: any
+//! experiment must produce byte-identical tables for any `--threads`
+//! value. Each sweep point / replica runs `f(i, items[i])` with its own
+//! seed and no shared state, and results are reassembled by index — these
+//! tests pin that contract end to end, through table rendering.
+
+use lit_repro::experiments::{fig7, fig8, replica_seed, run_points, RunConfig};
+
+fn cfg(threads: usize, seconds: u64, replicas: u32) -> RunConfig {
+    RunConfig {
+        seconds: Some(seconds),
+        seed: 7,
+        threads: Some(threads),
+        replicas,
+    }
+}
+
+#[test]
+fn fig8_csv_identical_across_thread_counts() {
+    // The ISSUE's acceptance case: fig8 with pooled replicas, 1 worker vs
+    // 8 workers, CSV compared byte for byte.
+    let serial = fig8::run(&cfg(1, 12, 4));
+    let pooled = fig8::run(&cfg(8, 12, 4));
+    assert_eq!(fig8::table(&serial).to_csv(), fig8::table(&pooled).to_csv());
+    assert_eq!(
+        fig8::pdf_table(&serial).to_csv(),
+        fig8::pdf_table(&pooled).to_csv()
+    );
+    assert_eq!(
+        fig8::buffer_table(&serial, true).to_csv(),
+        fig8::buffer_table(&pooled, true).to_csv()
+    );
+}
+
+#[test]
+fn fig7_sweep_identical_across_thread_counts() {
+    let serial = fig7::run(&cfg(1, 8, 1));
+    let pooled = fig7::run(&cfg(5, 8, 1));
+    assert_eq!(fig7::table(&serial).to_csv(), fig7::table(&pooled).to_csv());
+}
+
+#[test]
+fn run_points_preserves_order_and_indices() {
+    let items: Vec<u64> = (0..57).collect();
+    let out = run_points(&cfg(8, 1, 1), &items, |i, &x| {
+        assert_eq!(i as u64, x, "item handed to the wrong index");
+        x * x
+    });
+    assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    // Degenerate cases: empty input, more workers than items.
+    let empty: Vec<u64> = Vec::new();
+    assert!(run_points(&cfg(8, 1, 1), &empty, |_, &x| x).is_empty());
+    assert_eq!(
+        run_points(&cfg(64, 1, 1), &[1u64, 2], |_, &x| x),
+        vec![1, 2]
+    );
+}
+
+#[test]
+fn replica_seeds_are_stable_and_distinct() {
+    // Replica 0 keeps the master seed, so `--replicas 1` reproduces the
+    // historical single-run results exactly.
+    assert_eq!(replica_seed(7, 0), 7);
+    let seeds: Vec<u64> = (0..16).map(|r| replica_seed(7, r)).collect();
+    let mut unique = seeds.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), seeds.len(), "replica seeds collide");
+    // And they are a pure function of (master, replica).
+    assert_eq!(
+        seeds,
+        (0..16).map(|r| replica_seed(7, r)).collect::<Vec<_>>()
+    );
+}
