@@ -94,6 +94,14 @@ impl DurationHistogram {
         self.overflow
     }
 
+    /// Raw bin counts: `bin_counts()[i]` counts samples in
+    /// `[i·w, (i+1)·w)`. Exposed for exact count-based comparisons (the
+    /// conformance oracle's ineq.-16 check), where the f64 CCDF helpers
+    /// would round.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
     /// Iterate `(bin_lower_edge, count)` for all non-empty bins.
     pub fn nonempty_bins(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
         self.bins

@@ -5,10 +5,9 @@
 //! * AC3 tests `2^(n)` subsets for the n-th admission — the exponential
 //!   blow-up §2 warns about is plainly visible in the timings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lit_bench::Bencher;
 use lit_core::{Ac3Admission, ClassedAdmission, DRule, DelayClass, Procedure, SessionRequest};
 use lit_sim::Duration;
-use std::hint::black_box;
 
 fn classes(p: usize, link: u64) -> Vec<DelayClass> {
     (1..=p)
@@ -19,48 +18,42 @@ fn classes(p: usize, link: u64) -> Vec<DelayClass> {
         .collect()
 }
 
-fn classed(c: &mut Criterion) {
-    let mut g = c.benchmark_group("admission/classed_fill");
+fn classed(b: &Bencher) {
     for &p in &[1usize, 4, 16] {
-        g.bench_with_input(BenchmarkId::new("ac1", p), &p, |b, &p| {
-            b.iter(|| {
-                let mut ac =
-                    ClassedAdmission::new(Procedure::Proc1, 100_000_000, classes(p, 100_000_000))
-                        .unwrap();
-                let req = SessionRequest::new(100_000, 424);
-                let mut ok = 0u32;
-                for _ in 0..500 {
-                    if ac.try_admit(p - 1, &req, DRule::PerSessionMax).is_ok() {
-                        ok += 1;
-                    }
+        b.run(&format!("admission/classed_fill/ac1/{p}"), || {
+            let mut ac =
+                ClassedAdmission::new(Procedure::Proc1, 100_000_000, classes(p, 100_000_000))
+                    .unwrap();
+            let req = SessionRequest::new(100_000, 424);
+            let mut ok = 0u32;
+            for _ in 0..500 {
+                if ac.try_admit(p - 1, &req, DRule::PerSessionMax).is_ok() {
+                    ok += 1;
                 }
-                black_box(ok)
-            })
+            }
+            ok
         });
     }
-    g.finish();
 }
 
-fn ac3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("admission/ac3_exhaustive");
-    g.sample_size(10);
+fn ac3(b: &Bencher) {
     for &n in &[8usize, 14, 20] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let mut ac = Ac3Admission::new(100_000_000);
-                let mut ok = 0u32;
-                for i in 0..n {
-                    let d = Duration::from_ms(5 + i as u64);
-                    if ac.try_admit(200_000, 424, d).is_ok() {
-                        ok += 1;
-                    }
+        b.run(&format!("admission/ac3_exhaustive/{n}"), || {
+            let mut ac = Ac3Admission::new(100_000_000);
+            let mut ok = 0u32;
+            for i in 0..n {
+                let d = Duration::from_ms(5 + i as u64);
+                if ac.try_admit(200_000, 424, d).is_ok() {
+                    ok += 1;
                 }
-                black_box(ok)
-            })
+            }
+            ok
         });
     }
-    g.finish();
 }
 
-criterion_group!(admission, classed, ac3);
-criterion_main!(admission);
+fn main() {
+    let b = Bencher::from_args();
+    classed(&b);
+    ac3(&b);
+}

@@ -2,48 +2,46 @@
 //! as used to draw the Figures 9–11 bound curves) and the streaming
 //! histogram (per-sample cost paid for every delivered packet).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lit_analysis::{DurationHistogram, Md1};
+use lit_bench::Bencher;
 use lit_sim::Duration;
-use std::hint::black_box;
 
-fn md1(c: &mut Criterion) {
+fn md1(b: &Bencher) {
     let q = Md1::from_mean_gap(
         Duration::from_secs_f64(1.5143e-3),
         Duration::from_bits_at_rate(424, 400_000),
     );
-    let mut g = c.benchmark_group("analysis/md1_sojourn_ccdf");
     for &t_ms in &[2u64, 10, 25, 60] {
-        g.bench_with_input(BenchmarkId::from_parameter(t_ms), &t_ms, |b, &t_ms| {
-            let t = Duration::from_ms(t_ms);
-            b.iter(|| black_box(q.sojourn_ccdf(black_box(t))))
+        let t = Duration::from_ms(t_ms);
+        b.run(&format!("analysis/md1_sojourn_ccdf/{t_ms}ms"), || {
+            q.sojourn_ccdf(t)
         });
     }
-    g.finish();
 }
 
-fn histogram(c: &mut Criterion) {
-    c.bench_function("analysis/histogram_record_10k", |b| {
-        b.iter(|| {
-            let mut h = DurationHistogram::new(Duration::from_us(250), 4000);
-            for i in 0..10_000u64 {
-                h.record(Duration::from_ps(
-                    i.wrapping_mul(2_654_435_761) % 1_000_000_000,
-                ));
-            }
-            black_box(h.count())
-        })
-    });
-    c.bench_function("analysis/histogram_ccdf_eval", |b| {
+fn histogram(b: &Bencher) {
+    b.run("analysis/histogram_record_10k", || {
         let mut h = DurationHistogram::new(Duration::from_us(250), 4000);
-        for i in 0..100_000u64 {
+        for i in 0..10_000u64 {
             h.record(Duration::from_ps(
                 i.wrapping_mul(2_654_435_761) % 1_000_000_000,
             ));
         }
-        b.iter(|| black_box(h.ccdf_at(Duration::from_us(500))))
+        h.count()
+    });
+    let mut h = DurationHistogram::new(Duration::from_us(250), 4000);
+    for i in 0..100_000u64 {
+        h.record(Duration::from_ps(
+            i.wrapping_mul(2_654_435_761) % 1_000_000_000,
+        ));
+    }
+    b.run("analysis/histogram_ccdf_eval", || {
+        h.ccdf_at(Duration::from_us(500))
     });
 }
 
-criterion_group!(analysis, md1, histogram);
-criterion_main!(analysis);
+fn main() {
+    let b = Bencher::from_args();
+    md1(&b);
+    histogram(&b);
+}

@@ -6,58 +6,45 @@
 //! network) and runs 2 simulated seconds — roughly 120 000 packet
 //! transmissions across the five links.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lit_baselines::{FcfsDiscipline, WfqDiscipline};
+use lit_bench::Bencher;
 use lit_core::LitDiscipline;
-use lit_net::{LinkParams, NodeId};
-use lit_repro::experiments::common::{build_cross_onoff, build_mix_one_class};
+use lit_net::{LinkParams, NodeId, QueueKind};
+use lit_repro::experiments::common::{
+    build_cross_onoff, build_cross_onoff_queued, build_mix_one_class,
+};
 use lit_sim::{Duration, Time};
-use std::hint::black_box;
 
-fn mix(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end/mix_2s");
-    g.sample_size(10);
-    g.bench_function("leave-in-time", |b| {
-        b.iter(|| {
-            let (mut net, tagged) = build_mix_one_class(Duration::from_ms(88), 1);
-            net.run_until(Time::from_secs(2));
-            black_box(net.session_stats(tagged).delivered)
-        })
+fn mix(b: &Bencher) {
+    b.run("end_to_end/mix_2s/leave-in-time", || {
+        let (mut net, tagged) = build_mix_one_class(Duration::from_ms(88), 1);
+        net.run_until(Time::from_secs(2));
+        net.session_stats(tagged).delivered
     });
-    g.finish();
 }
 
-fn cross(c: &mut Criterion) {
-    use lit_net::QueueKind;
-    use lit_repro::experiments::common::build_cross_onoff_queued;
-    let mut g = c.benchmark_group("end_to_end/cross_2s");
-    g.sample_size(10);
-    g.bench_function("leave-in-time", |b| {
-        b.iter(|| {
-            let (mut net, no_jc, _) = build_cross_onoff(1);
-            net.run_until(Time::from_secs(2));
-            black_box(net.session_stats(no_jc).delivered)
-        })
+fn cross(b: &Bencher) {
+    b.run("end_to_end/cross_2s/leave-in-time", || {
+        let (mut net, no_jc, _) = build_cross_onoff(1);
+        net.run_until(Time::from_secs(2));
+        net.session_stats(no_jc).delivered
     });
     // Approximate-queue ablation: same workload, bucketed eligible queue.
-    g.bench_function("leave-in-time-bucketed-1ms", |b| {
-        b.iter(|| {
-            let (mut net, no_jc, _) = build_cross_onoff_queued(
-                1,
-                QueueKind::Bucketed {
-                    bucket: Duration::from_ms(1),
-                },
-            );
-            net.run_until(Time::from_secs(2));
-            black_box(net.session_stats(no_jc).delivered)
-        })
+    b.run("end_to_end/cross_2s/leave-in-time-bucketed-1ms", || {
+        let (mut net, no_jc, _) = build_cross_onoff_queued(
+            1,
+            QueueKind::Bucketed {
+                bucket: Duration::from_ms(1),
+            },
+        );
+        net.run_until(Time::from_secs(2));
+        net.session_stats(no_jc).delivered
     });
-    g.finish();
 }
 
 /// Same traffic volume under different disciplines, to expose the
 /// scheduler's share of the event-loop cost.
-fn disciplines(c: &mut Criterion) {
+fn disciplines(bench: &Bencher) {
     use lit_net::{NetworkBuilder, SessionId, SessionSpec};
     use lit_traffic::PoissonSource;
     let build = |factory: &lit_net::DisciplineFactory<'_>| {
@@ -72,24 +59,23 @@ fn disciplines(c: &mut Criterion) {
         }
         b.build(factory)
     };
-    let mut g = c.benchmark_group("end_to_end/32poisson_3hop_5s");
-    g.sample_size(10);
     let lit = |l: &LinkParams| Box::new(LitDiscipline::new(*l)) as Box<dyn lit_net::Discipline>;
     let fcfs = FcfsDiscipline::factory();
     let wfq = WfqDiscipline::factory();
     let cases: Vec<(&str, &lit_net::DisciplineFactory<'_>)> =
         vec![("leave-in-time", &lit), ("fcfs", &fcfs), ("wfq", &wfq)];
     for (name, factory) in cases {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let mut net = build(factory);
-                net.run_until(Time::from_secs(5));
-                black_box(net.node_stats(NodeId(0)).transmitted)
-            })
+        bench.run(&format!("end_to_end/32poisson_3hop_5s/{name}"), || {
+            let mut net = build(factory);
+            net.run_until(Time::from_secs(5));
+            net.node_stats(NodeId(0)).transmitted
         });
     }
-    g.finish();
 }
 
-criterion_group!(end_to_end, mix, cross, disciplines);
-criterion_main!(end_to_end);
+fn main() {
+    let b = Bencher::from_args();
+    mix(&b);
+    cross(&b);
+    disciplines(&b);
+}

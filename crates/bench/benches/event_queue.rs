@@ -12,64 +12,63 @@
 //! expected to hold a ≥ 2× advantage there (see `results/BENCH_queues.json`
 //! written by the `bench_queues` binary for the tracked numbers).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lit_bench::Bencher;
 use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
-use std::hint::black_box;
 
 const BACKENDS: [(EventBackend, &str); 2] = [
     (EventBackend::Heap, "heap"),
     (EventBackend::Calendar, "calendar"),
 ];
 
-fn hold(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue/hold");
-    // The 1e6 population needs a long pre-fill per sample; 20 samples keep
-    // the run bounded and the per-op noise floor far below the 2× margin.
-    g.sample_size(20);
+const HOLD_OPS: u64 = 10_000;
+
+fn hold(b: &Bencher) {
     for (backend, label) in BACKENDS {
         for &n in &[100usize, 10_000, 1_000_000] {
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
-                // Pre-fill to steady state.
-                let mut rng = SimRng::seed_from(9);
-                let mut q = EventQueue::with_capacity_in(n + 1, backend);
-                let mut now = Time::ZERO;
-                for i in 0..n {
-                    q.push(now + Duration::from_ns(rng.below(1_000_000)), i as u64);
-                }
-                b.iter(|| {
+            // Pre-fill to steady state once; each measured run then does
+            // HOLD_OPS pop-one/push-one cycles against the shared queue,
+            // which keeps the population at n throughout.
+            let mut rng = SimRng::seed_from(9);
+            let mut q = EventQueue::with_capacity_in(n + 1, backend);
+            let mut now = Time::ZERO;
+            for i in 0..n {
+                q.push(now + Duration::from_ns(rng.below(1_000_000)), i as u64);
+            }
+            b.run(&format!("event_queue/hold/{label}/{n}"), || {
+                let mut sum = 0u64;
+                for _ in 0..HOLD_OPS {
                     let (t, e) = q.pop().expect("steady state");
                     now = t;
                     q.push(now + Duration::from_ns(1 + rng.below(1_000_000)), e);
-                    black_box(e)
-                });
+                    sum = sum.wrapping_add(e);
+                }
+                sum
             });
         }
     }
-    g.finish();
 }
 
-fn burst(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue/burst");
+fn burst(b: &Bencher) {
     for (backend, label) in BACKENDS {
         for &n in &[1024usize, 16_384] {
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
-                b.iter(|| {
-                    let mut rng = SimRng::seed_from(5);
-                    let mut q = EventQueue::with_capacity_in(n, backend);
-                    for i in 0..n {
-                        q.push(Time::from_ns(rng.below(1_000_000_000)), i as u64);
-                    }
-                    let mut sum = 0u64;
-                    while let Some((_, e)) = q.pop() {
-                        sum = sum.wrapping_add(e);
-                    }
-                    black_box(sum)
-                });
+            b.run(&format!("event_queue/burst/{label}/{n}"), || {
+                let mut rng = SimRng::seed_from(5);
+                let mut q = EventQueue::with_capacity_in(n, backend);
+                for i in 0..n {
+                    q.push(Time::from_ns(rng.below(1_000_000_000)), i as u64);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                sum
             });
         }
     }
-    g.finish();
 }
 
-criterion_group!(event_queue, hold, burst);
-criterion_main!(event_queue);
+fn main() {
+    let b = Bencher::from_args();
+    hold(&b);
+    burst(&b);
+}

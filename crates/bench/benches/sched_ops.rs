@@ -7,46 +7,38 @@
 //! efficiency claim), while WFQ pays for advancing the GPS virtual time
 //! across the backlogged set.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use lit_baselines::{
     FcfsDiscipline, ScfqDiscipline, StopAndGoDiscipline, VirtualClockDiscipline, WfqDiscipline,
 };
-use lit_bench::{drive_discipline, register_sessions};
+use lit_bench::{drive_discipline, register_sessions, Bencher};
 use lit_core::LitDiscipline;
 use lit_net::{Discipline, LinkParams};
 use lit_sim::Duration;
-use std::hint::black_box;
 
 const SESSIONS: u32 = 48;
 const PACKETS: u64 = 10_000;
 
-fn bench_discipline(c: &mut Criterion, name: &str, mk: impl Fn() -> Box<dyn Discipline>) {
-    c.bench_function(&format!("sched_ops/{name}/48sess"), |b| {
-        b.iter(|| {
-            let mut d = mk();
-            register_sessions(d.as_mut(), SESSIONS);
-            black_box(drive_discipline(d.as_mut(), SESSIONS, PACKETS))
-        })
+fn bench_discipline(b: &Bencher, name: &str, mk: impl Fn() -> Box<dyn Discipline>) {
+    b.run(&format!("sched_ops/{name}/48sess"), || {
+        let mut d = mk();
+        register_sessions(d.as_mut(), SESSIONS);
+        drive_discipline(d.as_mut(), SESSIONS, PACKETS)
     });
 }
 
-fn benches(c: &mut Criterion) {
+fn main() {
+    let b = Bencher::from_args();
     let link = LinkParams::paper_t1();
-    bench_discipline(c, "fcfs", || Box::new(FcfsDiscipline::new()));
-    bench_discipline(
-        c,
-        "virtualclock",
-        || Box::new(VirtualClockDiscipline::new()),
-    );
-    bench_discipline(c, "leave-in-time", move || {
+    bench_discipline(&b, "fcfs", || Box::new(FcfsDiscipline::new()));
+    bench_discipline(&b, "virtualclock", || {
+        Box::new(VirtualClockDiscipline::new())
+    });
+    bench_discipline(&b, "leave-in-time", move || {
         Box::new(LitDiscipline::new(link))
     });
-    bench_discipline(c, "scfq", || Box::new(ScfqDiscipline::new()));
-    bench_discipline(c, "wfq", move || Box::new(WfqDiscipline::new(link)));
-    bench_discipline(c, "stop-and-go", || {
+    bench_discipline(&b, "scfq", || Box::new(ScfqDiscipline::new()));
+    bench_discipline(&b, "wfq", move || Box::new(WfqDiscipline::new(link)));
+    bench_discipline(&b, "stop-and-go", || {
         Box::new(StopAndGoDiscipline::new(Duration::from_ms(10)))
     });
 }
-
-criterion_group!(sched_ops, benches);
-criterion_main!(sched_ops);

@@ -1,0 +1,64 @@
+//! Differential fuzzer CLI — see `lit_repro::fuzz`.
+//!
+//! ```text
+//! fuzz_diff [--cases N] [--seed S] [--max-seconds T] [--out DIR]
+//! ```
+//!
+//! Runs `N` random scenarios (default 500) from campaign seed `S`
+//! (default 1), each compared three ways: Leave-in-Time heap vs calendar
+//! event backend, and Leave-in-Time vs VirtualClock in the degenerate
+//! regime where the paper proves they coincide — all under the counting
+//! conformance oracle. Stops early after `--max-seconds` of wall clock
+//! (for CI smoke runs). Minimized failures land in `DIR` (default
+//! `results/diff_failures`) as replayable `.scn` files; exits nonzero if
+//! any case failed.
+
+use lit_repro::fuzz;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: fuzz_diff [--cases N] [--seed S] [--max-seconds T] [--out DIR]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cases = 500u64;
+    let mut seed = 1u64;
+    let mut max_seconds = None;
+    let mut out = PathBuf::from("results/diff_failures");
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match arg.as_str() {
+            "--cases" => cases = num(&mut it),
+            "--seed" => seed = num(&mut it),
+            "--max-seconds" => max_seconds = Some(std::time::Duration::from_secs(num(&mut it))),
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    eprintln!(
+        "fuzz_diff: {cases} case(s), campaign seed {seed}, failures to {}",
+        out.display()
+    );
+    let report = fuzz::campaign(seed, cases, max_seconds, &out);
+    if report.failures.is_empty() {
+        eprintln!("fuzz_diff: {} case(s), no divergences", report.cases);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "fuzz_diff: {} case(s), {} FAILURE(S):",
+            report.cases,
+            report.failures.len()
+        );
+        for (seed, why, path) in &report.failures {
+            eprintln!("  seed {seed:#018x}: {why} -> {}", path.display());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,4 +1,4 @@
-//! # lit-bench — Criterion benchmarks
+//! # lit-bench — benchmarks
 //!
 //! Performance characterization of the implementation (the paper's
 //! figures measure *simulated* service quality; these measure the
@@ -11,12 +11,18 @@
 //! * `admission` — AC1/AC2's O(P) tests vs AC3's exponential subset test;
 //! * `analysis` — M/D/1 evaluation and histogram cost.
 //!
-//! Helpers shared by the bench targets live here.
+//! The bench targets are plain `harness = false` binaries on the in-repo
+//! [`Bencher`] stopwatch (the workspace carries no external crates), so
+//! `cargo bench -p lit-bench` runs them all and
+//! `cargo bench -p lit-bench -- --test` does one verifying iteration each.
+//! Helpers shared by the bench targets live here too.
 
 #![forbid(unsafe_code)]
 
 use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, SessionId, SessionSpec};
 use lit_sim::Time;
+use std::hint::black_box;
+use std::time::{Duration as WallDuration, Instant};
 
 /// Register `n` sessions with rates spread across a T1 link.
 pub fn register_sessions(d: &mut dyn Discipline, n: u32) {
@@ -43,4 +49,76 @@ pub fn drive_discipline(d: &mut dyn Discipline, sessions: u32, packets: u64) -> 
         sum = sum.wrapping_add(pkt.hold.as_ps() as u128);
     }
     sum
+}
+
+/// A minimal wall-clock stopwatch harness for the `harness = false` bench
+/// targets: estimates a per-iteration cost, then loops for a fixed time
+/// budget and reports mean and best. With `--test` (what CI's smoke run
+/// passes) every benchmark executes exactly once, as a compile-and-run
+/// check.
+pub struct Bencher {
+    quick: bool,
+    budget: WallDuration,
+}
+
+impl Bencher {
+    /// Build from the process arguments: `--test` or `--quick` selects the
+    /// single-iteration mode; all other flags (e.g. the `--bench` cargo
+    /// appends) are ignored.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+        Bencher {
+            quick,
+            budget: WallDuration::from_millis(300),
+        }
+    }
+
+    /// Whether this run is the single-iteration smoke mode.
+    pub fn quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Time `f`, printing one line `name  iters  mean  best`.
+    pub fn run<T>(&self, name: &str, mut f: impl FnMut() -> T) {
+        let t0 = Instant::now();
+        black_box(f());
+        let est = t0.elapsed();
+        if self.quick {
+            println!("{name:<56} ok ({})", fmt_ns(est.as_nanos()));
+            return;
+        }
+        let iters = (self.budget.as_nanos() / est.as_nanos().max(1)).clamp(1, 100_000) as u32;
+        let mut best = u128::MAX;
+        let mut total = 0u128;
+        for _ in 0..iters {
+            let t = Instant::now();
+            black_box(f());
+            let e = t.elapsed().as_nanos();
+            total += e;
+            best = best.min(e);
+        }
+        println!(
+            "{name:<56} {iters:>6} iters  mean {:>10}  best {:>10}",
+            fmt_ns(total / u128::from(iters)),
+            fmt_ns(best)
+        );
+    }
+}
+
+impl Default for Bencher {
+    fn default() -> Self {
+        Self::from_args()
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
 }

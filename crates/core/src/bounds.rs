@@ -235,6 +235,25 @@ impl PathBounds {
         }
     }
 
+    /// The constants the online conformance oracle checks this session
+    /// against: the pathwise/CCDF shift `β + α` and the jitter spread
+    /// (the session's jitter bound minus `D^ref_max`, so the oracle can
+    /// compare against the *empirical* reference maximum — both bound
+    /// forms are pathwise in `D^ref_i`, so the substitution stays a
+    /// theorem).
+    pub fn oracle_bounds(&self, jitter_control: bool) -> lit_net::SessionBounds {
+        let n = self.hops.len();
+        let spread_ps = if jitter_control {
+            self.delta_max(n - 1).as_ps() as i128 - self.d_max(n - 1).as_ps() as i128
+        } else {
+            self.delta_sum(n).as_ps() as i128 - self.d_max(n - 1).as_ps() as i128
+        };
+        lit_net::SessionBounds {
+            shift_ps: self.shift_ps(),
+            jitter_spread_ps: spread_ps + self.alpha_ps(),
+        }
+    }
+
     /// Ineq. (16): upper bound on `P(D^{1,N} > d)` given the CCDF of the
     /// session's delay in its reference server — shift that CCDF right by
     /// `β + α`.
@@ -289,6 +308,20 @@ pub fn stop_and_go_comparison(
 /// comparisons against `SessionStats` extrema.
 pub fn as_time(d: Duration) -> Time {
     Time::ZERO + d
+}
+
+/// Compute and install the conformance-oracle bound constants for every
+/// session of `net`, from the exact per-hop assignments the scheduler is
+/// using. Call once after `NetworkBuilder::build` on a network whose
+/// oracle is enabled (no-op otherwise). Only meaningful under
+/// [`crate::LitDiscipline`] (or VirtualClock, which it subsumes).
+pub fn install_oracle_bounds(net: &mut Network) {
+    for i in 0..net.num_sessions() {
+        let id = SessionId(i as u32);
+        let jc = net.session_spec(id).jitter_control;
+        let bounds = PathBounds::for_session(net, id).oracle_bounds(jc);
+        net.set_session_bounds(id, bounds);
+    }
 }
 
 #[cfg(test)]

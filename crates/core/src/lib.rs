@@ -34,7 +34,7 @@ pub use admission::{
     Ac3Admission, Ac3Error, AdmissionError, ClassedAdmission, ConfigError, DRule, DelayClass,
     Procedure, SessionRequest,
 };
-pub use bounds::{as_time, stop_and_go_comparison, HopSpec, PathBounds};
+pub use bounds::{as_time, install_oracle_bounds, stop_and_go_comparison, HopSpec, PathBounds};
 pub use connection::{Connection, ConnectionManager, EstablishError};
 pub use discipline::LitDiscipline;
 pub use refserver::{RefOutcome, ReferenceServer};

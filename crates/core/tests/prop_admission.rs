@@ -3,41 +3,49 @@
 
 use lit_core::{ClassedAdmission, ConnectionManager, DRule, DelayClass, Procedure, SessionRequest};
 use lit_net::DelayAssignment;
+use lit_prop::{check, Gen};
 use lit_sim::Duration;
-use proptest::prelude::*;
 
 /// A random-but-valid class ladder over a 10 Mbit/s link.
-fn arb_classes() -> impl Strategy<Value = Vec<DelayClass>> {
-    prop::collection::vec((1u64..=100, 1u64..=50_000), 1..5).prop_map(|raw| {
-        let link = 10_000_000u64;
-        let mut bw = 0u64;
-        let mut sigma = 0u64;
-        let mut classes: Vec<DelayClass> = raw
-            .iter()
-            .map(|&(b, s)| {
-                bw = (bw + b * link / 100).min(link);
-                sigma += s;
-                DelayClass {
-                    max_bandwidth_bps: bw,
-                    base_delay: Duration::from_us(sigma),
-                }
-            })
-            .collect();
-        classes.last_mut().unwrap().max_bandwidth_bps = link;
-        classes
-    })
+fn gen_classes(g: &mut Gen) -> Vec<DelayClass> {
+    let n = g.size(1, 5);
+    let link = 10_000_000u64;
+    let mut bw = 0u64;
+    let mut sigma = 0u64;
+    let mut classes: Vec<DelayClass> = (0..n)
+        .map(|_| {
+            let b = g.range(1, 101);
+            let s = g.range(1, 50_001);
+            bw = (bw + b * link / 100).min(link);
+            sigma += s;
+            DelayClass {
+                max_bandwidth_bps: bw,
+                base_delay: Duration::from_us(sigma),
+            }
+        })
+        .collect();
+    classes.last_mut().unwrap().max_bandwidth_bps = link;
+    classes
 }
 
-proptest! {
-    /// After any sequence of *accepted* admissions, the paper's tests
-    /// (1.1) and (1.2)/(2.2) hold on the final state — re-derived here
-    /// from scratch.
-    #[test]
-    fn accepted_state_always_satisfies_the_tests(
-        classes in arb_classes(),
-        procedure in prop_oneof![Just(Procedure::Proc1), Just(Procedure::Proc2)],
-        reqs in prop::collection::vec((0usize..5, 10_000u64..2_000_000, 100u32..2_000), 1..40),
-    ) {
+/// After any sequence of *accepted* admissions, the paper's tests
+/// (1.1) and (1.2)/(2.2) hold on the final state — re-derived here
+/// from scratch.
+#[test]
+fn accepted_state_always_satisfies_the_tests() {
+    check("accepted_state_always_satisfies_the_tests", |g| {
+        let classes = gen_classes(g);
+        let procedure = *g.pick(&[Procedure::Proc1, Procedure::Proc2]);
+        let n_reqs = g.size(1, 40);
+        let reqs: Vec<(usize, u64, u32)> = (0..n_reqs)
+            .map(|_| {
+                (
+                    g.size(0, 5),
+                    g.range(10_000, 2_000_000),
+                    g.range(100, 2_000) as u32,
+                )
+            })
+            .collect();
         let link = 10_000_000u64;
         let p = classes.len();
         let mut ac = ClassedAdmission::new(procedure, link, classes.clone()).unwrap();
@@ -56,7 +64,7 @@ proptest! {
         let mut cum_rate = 0u64;
         for m in 0..p {
             cum_rate += rate_in[m];
-            prop_assert!(
+            assert!(
                 cum_rate <= classes[m].max_bandwidth_bps,
                 "test 1.1 violated at class {m}"
             );
@@ -70,22 +78,23 @@ proptest! {
         for m in 0..last {
             cum_bits += bits_in[m];
             let needed = Duration::from_bits_at_rate(cum_bits, link);
-            prop_assert!(
+            assert!(
                 needed <= classes[m].base_delay,
                 "base-delay test violated at class {m}: {needed} > {}",
                 classes[m].base_delay
             );
         }
-    }
+    });
+}
 
-    /// The granted d is always at least the class's structural minimum
-    /// and increases (weakly) with the class index.
-    #[test]
-    fn granted_d_is_monotone_in_class(
-        classes in arb_classes(),
-        rate in 10_000u64..2_000_000,
-        len in 100u32..2_000,
-    ) {
+/// The granted d is always at least the class's structural minimum
+/// and increases (weakly) with the class index.
+#[test]
+fn granted_d_is_monotone_in_class() {
+    check("granted_d_is_monotone_in_class", |g| {
+        let classes = gen_classes(g);
+        let rate = g.range(10_000, 2_000_000);
+        let len = g.range(100, 2_000) as u32;
         for procedure in [Procedure::Proc1, Procedure::Proc2] {
             let ac = ClassedAdmission::new(procedure, 10_000_000, classes.clone()).unwrap();
             let req = SessionRequest::new(rate, len);
@@ -97,19 +106,23 @@ proptest! {
                     _ => unreachable!("PerSessionMax grants Fixed"),
                 };
                 if let Some(p) = prev {
-                    prop_assert!(d >= p, "d not monotone across classes");
+                    assert!(d >= p, "d not monotone across classes");
                 }
                 prev = Some(d);
             }
         }
-    }
+    });
+}
 
-    /// Establish/teardown through the ConnectionManager never leaks or
-    /// double-frees capacity, for arbitrary route/rate mixes.
-    #[test]
-    fn connection_manager_conserves_capacity(
-        script in prop::collection::vec((0usize..5, 0usize..5, 10_000u64..800_000), 1..60),
-    ) {
+/// Establish/teardown through the ConnectionManager never leaks or
+/// double-frees capacity, for arbitrary route/rate mixes.
+#[test]
+fn connection_manager_conserves_capacity() {
+    check("connection_manager_conserves_capacity", |g| {
+        let n_steps = g.size(1, 60);
+        let script: Vec<(usize, usize, u64)> = (0..n_steps)
+            .map(|_| (g.size(0, 5), g.size(0, 5), g.range(10_000, 800_000)))
+            .collect();
         let mut cm = ConnectionManager::one_class(5, 1_536_000);
         let mut live = Vec::new();
         let mut shadow = [0u64; 5]; // committed rate per node
@@ -134,9 +147,9 @@ proptest! {
                 }
             }
             for (n, &committed) in shadow.iter().enumerate() {
-                prop_assert_eq!(cm.node(n).admitted_rate_bps(), committed);
-                prop_assert!(committed <= 1_536_000);
+                assert_eq!(cm.node(n).admitted_rate_bps(), committed);
+                assert!(committed <= 1_536_000);
             }
         }
-    }
+    });
 }

@@ -39,6 +39,7 @@
 mod discipline;
 mod equeue;
 mod network;
+pub mod oracle;
 mod packet;
 mod spec;
 mod stats;
@@ -47,6 +48,7 @@ pub use discipline::{Discipline, DisciplineFactory, ScheduleDecision};
 pub use equeue::QueueKind;
 pub use lit_sim::EventBackend;
 pub use network::{Network, NetworkBuilder};
+pub use oracle::{OracleConfig, OracleMode, OracleTotals, SessionBounds, ViolationKind};
 pub use packet::{NodeId, Packet, SessionId};
 pub use spec::{DelayAssignment, LinkParams, SessionSpec};
 pub use stats::{DeliveryRecord, NodeStats, OccupancyHistogram, SessionStats, StatsConfig};
@@ -61,6 +63,10 @@ mod tests {
     struct Fifo {
         /// Optional fixed regulator hold, to exercise the eligibility path.
         hold: Duration,
+        /// Deadline slack past eligibility. `fifo_factory` uses zero, which
+        /// leaves every finish exactly at the lateness allowance; oracle
+        /// tests pick nonzero slack to place packets on either side of it.
+        slack: Duration,
     }
 
     impl Discipline for Fifo {
@@ -70,14 +76,21 @@ mod tests {
         fn register_session(&mut self, _: &SessionSpec, _: &DelayAssignment) {}
         fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
             let eligible = now + self.hold;
-            pkt.deadline = eligible;
+            pkt.deadline = eligible + self.slack;
             ScheduleDecision::at(eligible, eligible)
         }
         fn on_departure(&mut self, _: &mut Packet, _: Time) {}
     }
 
     fn fifo_factory(hold: Duration) -> impl Fn(&LinkParams) -> Box<dyn Discipline> {
-        move |_: &LinkParams| Box::new(Fifo { hold }) as Box<dyn Discipline>
+        slack_fifo_factory(hold, Duration::ZERO)
+    }
+
+    fn slack_fifo_factory(
+        hold: Duration,
+        slack: Duration,
+    ) -> impl Fn(&LinkParams) -> Box<dyn Discipline> {
+        move |_: &LinkParams| Box::new(Fifo { hold, slack }) as Box<dyn Discipline>
     }
 
     #[test]
@@ -383,6 +396,113 @@ mod tests {
                 bucket: Duration::from_ps(1)
             })
         );
+    }
+
+    #[test]
+    fn oracle_clean_on_lone_regulated_session() {
+        // A lone CBR session with a fixed hold exercises the Eligible
+        // path: release-time and eligibility-order checks must all pass.
+        let mut b = NetworkBuilder::new().oracle(OracleConfig::new(OracleMode::Count));
+        let nodes = b.tandem(2, LinkParams::paper_t1());
+        let sid = b.add_session(
+            SessionSpec::atm(SessionId(0), 32_000),
+            &nodes,
+            Box::new(DeterministicSource::paper_cbr()),
+        );
+        let mut net = b.build(&slack_fifo_factory(
+            Duration::from_ms(2),
+            Duration::from_ms(10),
+        ));
+        net.run_until(Time::from_secs(10));
+        assert!(net.session_stats(sid).delivered > 500);
+        assert_eq!(net.oracle_drain_check(), 0);
+        assert_eq!(net.oracle_violations(), 0);
+    }
+
+    #[test]
+    fn oracle_counts_lateness_under_fifo_contention() {
+        // Three same-instant packets with 500 µs of deadline slack on a T1
+        // (tx = 276 µs): packet k finishes (k+1)·tx after eligibility, so
+        // only seq 2 exceeds slack + allowance. One violation, exactly.
+        let mut b = NetworkBuilder::new().oracle(OracleConfig::new(OracleMode::Count));
+        let nodes = b.tandem(1, LinkParams::paper_t1());
+        for _ in 0..3 {
+            b.add_session(
+                SessionSpec::atm(SessionId(0), 100_000),
+                &nodes,
+                Box::new(TraceSource::from_pairs([(Time::from_ms(1), 424)])),
+            );
+        }
+        let mut net = b.build(&slack_fifo_factory(Duration::ZERO, Duration::from_us(500)));
+        net.run_until(Time::from_secs(1));
+        assert_eq!(net.oracle_totals().lateness, 1);
+        assert_eq!(net.node_stats(nodes[0]).oracle_violations, 1);
+    }
+
+    #[test]
+    fn oracle_flags_installed_bounds_and_drain_check() {
+        // An impossible bound (negative shift) must trip the pathwise
+        // delay check on every delivery and the drain-time CCDF check.
+        let mut b = NetworkBuilder::new().oracle(OracleConfig::new(OracleMode::Count));
+        let nodes = b.tandem(1, LinkParams::paper_t1());
+        let sid = b.add_session(
+            SessionSpec::atm(SessionId(0), 32_000),
+            &nodes,
+            Box::new(DeterministicSource::paper_cbr()),
+        );
+        let mut net = b.build(&fifo_factory(Duration::ZERO));
+        net.set_session_bounds(
+            sid,
+            SessionBounds {
+                shift_ps: -1_000_000_000_000,
+                jitter_spread_ps: i128::MAX / 2, // jitter check stays quiet
+            },
+        );
+        net.run_until(Time::from_secs(1));
+        let delivered = net.session_stats(sid).delivered;
+        assert!(delivered > 60);
+        assert_eq!(net.oracle_totals().delay_bound, delivered);
+        assert_eq!(net.oracle_drain_check(), 1);
+        assert_eq!(net.oracle_totals().ccdf_bound, 1);
+        assert_eq!(net.session_stats(sid).oracle_violations, delivered + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conformance oracle: delay-bound")]
+    fn oracle_panic_mode_panics_with_kind() {
+        let mut b = NetworkBuilder::new().oracle(OracleConfig::new(OracleMode::Panic));
+        let nodes = b.tandem(1, LinkParams::paper_t1());
+        let sid = b.add_session(
+            SessionSpec::atm(SessionId(0), 32_000),
+            &nodes,
+            Box::new(DeterministicSource::paper_cbr()),
+        );
+        let mut net = b.build(&slack_fifo_factory(Duration::ZERO, Duration::from_ms(10)));
+        net.set_session_bounds(
+            sid,
+            SessionBounds {
+                shift_ps: i128::MIN / 2,
+                jitter_spread_ps: i128::MAX / 2,
+            },
+        );
+        net.run_until(Time::from_secs(1));
+    }
+
+    #[test]
+    fn oracle_off_has_no_state_and_no_counts() {
+        let mut b = NetworkBuilder::new();
+        let nodes = b.tandem(1, LinkParams::paper_t1());
+        let sid = b.add_session(
+            SessionSpec::atm(SessionId(0), 32_000),
+            &nodes,
+            Box::new(DeterministicSource::paper_cbr()),
+        );
+        let mut net = b.build(&fifo_factory(Duration::ZERO));
+        // Installing bounds with the oracle off is a documented no-op.
+        net.set_session_bounds(sid, SessionBounds::default());
+        net.run_until(Time::from_secs(1));
+        assert_eq!(net.oracle_violations(), 0);
+        assert_eq!(net.oracle_drain_check(), 0);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 
 use crate::discipline::{Discipline, DisciplineFactory};
 use crate::equeue::{EligibleQueue, QueueKind};
+use crate::oracle::{
+    ccdf_shift_violation, OracleConfig, OracleMode, OracleRt, OracleTotals, SessionBounds,
+    ViolationKind,
+};
 use crate::packet::{NodeId, Packet, SessionId};
 use crate::spec::{DelayAssignment, LinkParams, SessionSpec};
 use crate::stats::{DeliveryRecord, NodeStats, SessionStats, StatsConfig};
@@ -48,8 +52,10 @@ enum Event {
     Inject { sid: u32 },
     /// A packet's last bit arrives at its current hop's node.
     Arrive { pkt: Packet },
-    /// A regulated packet becomes eligible at its node.
-    Eligible { pkt: Packet, key: u128 },
+    /// A regulated packet becomes eligible at its node. `at` is the
+    /// eligibility instant the regulator computed; the oracle verifies
+    /// the executor releases the packet exactly then.
+    Eligible { pkt: Packet, key: u128, at: Time },
     /// The node finished transmitting its current packet.
     TxDone { node: u32 },
 }
@@ -70,6 +76,7 @@ pub struct NetworkBuilder {
     master_seed: u64,
     queue_kind: QueueKind,
     event_backend: EventBackend,
+    oracle: OracleConfig,
 }
 
 impl Default for NetworkBuilder {
@@ -88,7 +95,16 @@ impl NetworkBuilder {
             master_seed: 0,
             queue_kind: QueueKind::Exact,
             event_backend: EventBackend::default(),
+            oracle: OracleConfig::off(),
         }
+    }
+
+    /// Enable the online conformance oracle (default: off). See
+    /// [`crate::oracle`] for what is checked; per-session bound constants
+    /// are installed after `build` via `lit_core::install_oracle_bounds`.
+    pub fn oracle(mut self, cfg: OracleConfig) -> Self {
+        self.oracle = cfg;
+        self
     }
 
     /// Select the eligible-queue implementation used by every node
@@ -187,6 +203,7 @@ impl NetworkBuilder {
         let mut events = EventQueue::with_backend(self.event_backend);
         let mut session_stats = Vec::with_capacity(self.sessions.len());
         let mut sessions: Vec<SessionRt> = Vec::with_capacity(self.sessions.len());
+        let session_hops: Vec<usize> = self.sessions.iter().map(|d| d.hops.len()).collect();
 
         for (i, def) in self.sessions.into_iter().enumerate() {
             for (n, delay) in &def.hops {
@@ -218,6 +235,7 @@ impl NetworkBuilder {
             now: Time::ZERO,
             node_stats: (0..self.links.len()).map(|_| NodeStats::new()).collect(),
             session_stats,
+            oracle: OracleRt::new(self.oracle, &session_hops),
         }
     }
 }
@@ -231,6 +249,7 @@ pub struct Network {
     now: Time,
     node_stats: Vec<NodeStats>,
     session_stats: Vec<SessionStats>,
+    oracle: OracleRt,
 }
 
 impl Network {
@@ -288,7 +307,16 @@ impl Network {
         match ev {
             Event::Inject { sid } => self.inject(sid),
             Event::Arrive { pkt } => self.arrive(pkt),
-            Event::Eligible { pkt, key } => {
+            Event::Eligible { pkt, key, at } => {
+                if self.oracle.enabled() && self.now != at {
+                    let now = self.now;
+                    self.oracle.violate(ViolationKind::ReleaseTime, || {
+                        format!(
+                            "session {} seq {} released at {now}, eligibility was {at}",
+                            pkt.session.0, pkt.seq
+                        )
+                    });
+                }
                 let node = self.sessions[pkt.session.index()].hops[pkt.hop as usize].0;
                 self.enqueue_eligible(node, pkt, key);
             }
@@ -348,12 +376,38 @@ impl Network {
             decision.eligible >= self.now,
             "discipline produced an eligibility time in the past"
         );
+        if self.oracle.enabled() {
+            // Regulator invariants (eq. 6–7): E is per-session monotone
+            // at every hop, and never lies in the past.
+            let now = self.now;
+            let last = &mut self.oracle.last_eligible[sid][hop];
+            if decision.eligible < *last {
+                let prev = *last;
+                self.oracle.violate(ViolationKind::EligibilityOrder, || {
+                    format!(
+                        "session {sid} hop {hop} seq {}: eligibility {} < previous {prev}",
+                        pkt.seq, decision.eligible
+                    )
+                });
+            } else {
+                *last = decision.eligible;
+            }
+            if decision.eligible < now {
+                self.oracle.violate(ViolationKind::ReleaseTime, || {
+                    format!(
+                        "session {sid} hop {hop} seq {}: eligibility {} before arrival {now}",
+                        pkt.seq, decision.eligible
+                    )
+                });
+            }
+        }
         if decision.eligible > self.now {
             self.events.push(
                 decision.eligible,
                 Event::Eligible {
                     pkt,
                     key: decision.key,
+                    at: decision.eligible,
                 },
             );
         } else {
@@ -393,6 +447,7 @@ impl Network {
         let finish = self.now;
         node.discipline.on_departure(&mut pkt, finish);
         let propagation = node.link.propagation;
+        let lmax_ps = node.link.lmax_time().as_ps() as i128;
 
         // Node accounting.
         let nst = &mut self.node_stats[node_idx as usize];
@@ -400,6 +455,17 @@ impl Network {
         nst.bits_transmitted += pkt.len_bits as u64;
         let lateness = finish.as_ps() as i128 - pkt.deadline.as_ps() as i128;
         nst.max_lateness_ps = nst.max_lateness_ps.max(lateness);
+        if self.oracle.enabled() && lateness >= lmax_ps {
+            // Non-saturation lemma: F̂ < F + L_MAX/C.
+            nst.oracle_violations += 1;
+            self.oracle.violate(ViolationKind::Lateness, || {
+                format!(
+                    "node {node_idx} session {} seq {}: finish {finish} is \
+                     {lateness} ps past deadline {} (allowance {lmax_ps} ps)",
+                    pkt.session.0, pkt.seq, pkt.deadline
+                )
+            });
+        }
 
         // Session accounting: the packet no longer occupies this node.
         let sid = pkt.session.index();
@@ -428,6 +494,37 @@ impl Network {
                 delivered: delivery,
                 ref_delay: pkt.ref_delay,
             });
+            if self.oracle.enabled() {
+                if let Some(b) = self.oracle.bounds[sid] {
+                    // Ineq. 12, pathwise: D_i − D^ref_i < β + α, for any
+                    // arrival pattern (the firewall property).
+                    if excess >= b.shift_ps {
+                        st.oracle_violations += 1;
+                        self.oracle.violate(ViolationKind::DelayBound, || {
+                            format!(
+                                "session {sid} seq {}: excess {excess} ps ≥ β+α = {} ps",
+                                pkt.seq, b.shift_ps
+                            )
+                        });
+                    }
+                    // Ineq. 17 family: running jitter stays below the
+                    // empirical D^ref_max plus the spread constant. Both
+                    // running maxima only grow, so checking per delivery
+                    // is equivalent to checking at drain time.
+                    let jitter_ps = st.e2e.spread().map_or(0, |j| j.as_ps() as i128);
+                    let dref_ps = st.reference.max().map_or(0, |d| d.as_ps() as i128);
+                    if jitter_ps >= dref_ps + b.jitter_spread_ps {
+                        st.oracle_violations += 1;
+                        self.oracle.violate(ViolationKind::JitterBound, || {
+                            format!(
+                                "session {sid} seq {}: jitter {jitter_ps} ps ≥ \
+                                 D^ref_max {dref_ps} + spread {} ps",
+                                pkt.seq, b.jitter_spread_ps
+                            )
+                        });
+                    }
+                }
+            }
         }
 
         // Keep the link busy if more eligible work is queued.
@@ -444,5 +541,75 @@ impl Network {
     /// The outgoing-link parameters of a node.
     pub fn node_link(&self, id: NodeId) -> &LinkParams {
         &self.nodes[id.index()].link
+    }
+
+    /// Install the conformance-oracle bound constants for one session
+    /// (normally done for every session by
+    /// `lit_core::install_oracle_bounds`). No-op when the oracle is off.
+    pub fn set_session_bounds(&mut self, id: SessionId, bounds: SessionBounds) {
+        if self.oracle.enabled() {
+            self.oracle.bounds[id.index()] = Some(bounds);
+        }
+    }
+
+    /// Total conformance-oracle violations recorded by this network.
+    pub fn oracle_violations(&self) -> u64 {
+        self.oracle.totals.total()
+    }
+
+    /// Violation counts by kind.
+    pub fn oracle_totals(&self) -> OracleTotals {
+        self.oracle.totals
+    }
+
+    /// Drain-time check of ineq. 16: for every session with installed
+    /// bounds, the end-to-end delay histogram must sit under the
+    /// reference histogram shifted right by `β + α`, compared on absolute
+    /// counts. Returns the number of sessions that failed. Runs
+    /// automatically (in counting mode) when the network is dropped, if
+    /// not called explicitly first.
+    pub fn oracle_drain_check(&mut self) -> u64 {
+        self.oracle.drained = true;
+        if !self.oracle.enabled() {
+            return 0;
+        }
+        let mut failed = 0;
+        for (sid, st) in self.session_stats.iter_mut().enumerate() {
+            let Some(b) = self.oracle.bounds[sid] else {
+                continue;
+            };
+            if st.delivered == 0 {
+                continue;
+            }
+            if let Some((d_ps, lhs, rhs)) = ccdf_shift_violation(&st.e2e, &st.reference, b.shift_ps)
+            {
+                failed += 1;
+                st.oracle_violations += 1;
+                self.oracle.violate(ViolationKind::CcdfBound, || {
+                    format!(
+                        "session {sid}: {lhs} packets with D > {d_ps} ps, but only \
+                         {rhs} with D^ref > {} ps (shift {} ps)",
+                        d_ps - b.shift_ps,
+                        b.shift_ps
+                    )
+                });
+            }
+        }
+        failed
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        // Run the drain-time distribution check if the caller didn't.
+        // Forced to counting mode: panicking in drop would abort, and the
+        // global counter still surfaces the failure (e.g. to `lit-repro`,
+        // whose exit code checks it after a sweep).
+        if self.oracle.enabled() && !self.oracle.drained && !std::thread::panicking() {
+            let mode = self.oracle.mode;
+            self.oracle.mode = OracleMode::Count;
+            self.oracle_drain_check();
+            self.oracle.mode = mode;
+        }
     }
 }

@@ -126,7 +126,9 @@ impl OccupancyHistogram {
     }
 
     /// Merge another histogram with identical bin layout into this one
-    /// (used to pool replica runs into one distribution).
+    /// (used to pool replica runs into one distribution). Counts
+    /// saturate at `u64::MAX` rather than wrapping, so pathological
+    /// pooling degrades the distribution instead of corrupting it.
     ///
     /// # Panics
     /// Panics on mismatched bin width or bin count.
@@ -138,10 +140,10 @@ impl OccupancyHistogram {
             "merge: bin count mismatch"
         );
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.overflow += other.overflow;
-        self.count += other.count;
+        self.overflow = self.overflow.saturating_add(other.overflow);
+        self.count = self.count.saturating_add(other.count);
         self.max_bits = self.max_bits.max(other.max_bits);
     }
 
@@ -208,6 +210,9 @@ pub struct SessionStats {
     /// [`StatsConfig::delivery_log_cap`] > 0).
     pub deliveries: std::collections::VecDeque<DeliveryRecord>,
     pub(crate) delivery_cap: usize,
+    /// Conformance-oracle violations attributed to this session (delay,
+    /// jitter and CCDF bound checks); always 0 when the oracle is off.
+    pub oracle_violations: u64,
 }
 
 impl SessionStats {
@@ -225,6 +230,7 @@ impl SessionStats {
             delay_batches: BatchMeans::default_config(),
             deliveries: std::collections::VecDeque::new(),
             delivery_cap: cfg.delivery_log_cap,
+            oracle_violations: 0,
         }
     }
 
@@ -289,6 +295,9 @@ pub struct NodeStats {
     /// the scheduler-saturation diagnostic: Leave-in-Time guarantees
     /// `F̂ < F + L_MAX/C`.
     pub max_lateness_ps: i128,
+    /// Conformance-oracle violations attributed to this node (regulator
+    /// and lateness checks); always 0 when the oracle is off.
+    pub oracle_violations: u64,
 }
 
 impl NodeStats {
@@ -298,6 +307,7 @@ impl NodeStats {
             transmitted: 0,
             bits_transmitted: 0,
             max_lateness_ps: i128::MIN,
+            oracle_violations: 0,
         }
     }
 
@@ -387,5 +397,64 @@ mod tests {
     fn node_stats_lateness_gate() {
         let n = NodeStats::new();
         assert_eq!(n.max_lateness(), None);
+    }
+
+    #[test]
+    fn node_stats_lateness_keeps_sign() {
+        // Lateness is signed: a node whose every finish beats its
+        // deadline reports a *negative* maximum — collapsing it to zero
+        // would hide exactly the margin the paper's invariant promises.
+        let mut n = NodeStats::new();
+        n.transmitted = 1;
+        n.max_lateness_ps = -42;
+        assert_eq!(n.max_lateness(), Some(-42));
+        n.transmitted = 2;
+        n.max_lateness_ps = n.max_lateness_ps.max(7);
+        assert_eq!(n.max_lateness(), Some(7));
+        // The empty-node sentinel (i128::MIN) never leaks out.
+        let empty = NodeStats::new();
+        assert!(empty.max_lateness().is_none());
+    }
+
+    #[test]
+    fn occupancy_ccdf_at_empty_histogram_is_zero() {
+        let h = OccupancyHistogram::new(424, 8);
+        assert_eq!(h.ccdf_at(0), 0.0);
+        assert_eq!(h.ccdf_at(u64::MAX), 0.0);
+        assert!(h.pdf().is_empty());
+        assert!(h.ccdf().iter().all(|&(_, p)| p == 0.0));
+    }
+
+    #[test]
+    fn occupancy_ccdf_at_single_bin() {
+        // One bin: every sample is either in it or in overflow; ccdf_at
+        // conservatively counts the query's own bin as exceeding.
+        let mut h = OccupancyHistogram::new(100, 1);
+        h.record(10);
+        h.record(50);
+        h.record(250); // overflow
+        assert_eq!(h.ccdf_at(0), 1.0); // query inside bin 0: all 3 count
+        assert_eq!(h.ccdf_at(99), 1.0);
+        assert_eq!(h.ccdf_at(100), 1.0 / 3.0); // past bin 0: overflow only
+        assert_eq!(h.ccdf_at(u64::MAX), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn occupancy_merge_saturates_instead_of_wrapping() {
+        let mut a = OccupancyHistogram::new(100, 2);
+        a.bins[0] = u64::MAX - 1;
+        a.count = u64::MAX - 1;
+        a.overflow = u64::MAX;
+        let mut b = OccupancyHistogram::new(100, 2);
+        b.record(10);
+        b.record(10);
+        b.record(500); // overflow
+        a.merge(&b);
+        assert_eq!(a.bins[0], u64::MAX);
+        assert_eq!(a.count, u64::MAX);
+        assert_eq!(a.overflow, u64::MAX);
+        // Still usable afterwards: probabilities stay in [0, 1].
+        let p = a.ccdf_at(0);
+        assert!((0.0..=1.0).contains(&p));
     }
 }

@@ -1,0 +1,272 @@
+//! # lit-prop — dependency-free property-testing harness
+//!
+//! The workspace's randomized tests used to run on an external property
+//! -testing crate; this crate replaces it with a minimal in-repo harness so
+//! the build has zero external dependencies (the repo must build in a fully
+//! offline container). The model is deliberately simple:
+//!
+//! * a test is a closure over a seeded [`Gen`] that draws its inputs and
+//!   `assert!`s its property;
+//! * [`check`] runs it for [`cases`] independently seeded cases
+//!   (`PROPTEST_CASES` env var, default 24 — CI's nightly job sets 256);
+//! * a failing case prints its seed and is replayed exactly with
+//!   `LIT_PROP_SEED=<seed>`;
+//! * [`check_with`] pins regression seeds that run before the random
+//!   cases on every invocation, so past failures stay covered forever.
+//!
+//! There is no shrinking: generators here are parametric (sizes drawn
+//! first), so re-running a failing seed under a debugger is cheap, and the
+//! differential fuzz harness (`lit-repro`) does its own domain-aware
+//! minimization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// SplitMix64 step (Steele, Lea & Flood, OOPSLA 2014): the same mixer the
+/// simulator uses for seed derivation. Statistically strong enough for test
+/// -input generation and trivially reproducible from a single `u64`.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded input generator handed to each property case.
+#[derive(Clone, Debug)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// A generator whose whole draw sequence is determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Gen { state: seed }
+    }
+
+    /// A uniform `u64`.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// A uniform draw in `[0, n)` (Lemire's unbiased method). Panics if
+    /// `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Gen::below(0)");
+        let mut x = self.u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform draw in the half-open range `[lo, hi)`. Panics if
+    /// `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Gen::range: empty range {lo}..{hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    pub fn size(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A fair coin.
+    #[inline]
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of `xs`. Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.size(0, xs.len())]
+    }
+
+    /// An index into `weights`, chosen with probability proportional to its
+    /// weight (the `prop_oneof![w => ...]` replacement). Panics if all
+    /// weights are zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+        assert!(total > 0, "Gen::weighted: zero total weight");
+        let mut x = self.below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            let w = u64::from(w);
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("weighted draw out of range")
+    }
+}
+
+/// Number of random cases per property: the `PROPTEST_CASES` environment
+/// variable, defaulting to 24 (the workspace's historical local count; the
+/// nightly CI job sets 256).
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(24)
+}
+
+/// FNV-1a over the property name, so distinct properties explore distinct
+/// seed sequences even inside one test binary.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `property` for [`cases`] seeded cases. A panic inside the closure
+/// fails the test after printing the case seed; replay that single case
+/// with `LIT_PROP_SEED=<seed> cargo test <name>`.
+pub fn check(name: &str, property: impl Fn(&mut Gen)) {
+    check_with(name, &[], property)
+}
+
+/// Like [`check`], but first replays `regression_seeds` — seeds of past
+/// failures pinned so they are re-checked on every run regardless of the
+/// random schedule.
+pub fn check_with(name: &str, regression_seeds: &[u64], property: impl Fn(&mut Gen)) {
+    if let Ok(v) = std::env::var("LIT_PROP_SEED") {
+        let v = v.trim();
+        let seed = if let Some(hex) = v.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16).expect("LIT_PROP_SEED: bad hex")
+        } else {
+            v.parse().expect("LIT_PROP_SEED: bad integer")
+        };
+        run_case(name, seed, &property);
+        return;
+    }
+    for &seed in regression_seeds {
+        run_case(name, seed, &property);
+    }
+    let mut state = name_hash(name) ^ 0x5EED_1995_0000_0000;
+    for _ in 0..cases() {
+        let seed = splitmix64(&mut state);
+        run_case(name, seed, &property);
+    }
+}
+
+fn run_case(name: &str, seed: u64, property: &impl Fn(&mut Gen)) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Gen::new(seed);
+        property(&mut g);
+    }));
+    if let Err(payload) = result {
+        eprintln!(
+            "property `{name}` failed for seed {seed:#018x}; replay with LIT_PROP_SEED={seed}"
+        );
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_is_deterministic_per_seed() {
+        let mut a = Gen::new(7);
+        let mut b = Gen::new(7);
+        for _ in 0..64 {
+            assert_eq!(a.u64(), b.u64());
+        }
+        assert_ne!(Gen::new(7).u64(), Gen::new(8).u64());
+    }
+
+    #[test]
+    fn below_and_range_stay_in_bounds() {
+        let mut g = Gen::new(1);
+        for _ in 0..10_000 {
+            assert!(g.below(10) < 10);
+            let x = g.range(5, 9);
+            assert!((5..9).contains(&x));
+        }
+        assert_eq!(g.below(1), 0);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut g = Gen::new(2);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = g.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn weighted_respects_zero_weights() {
+        let mut g = Gen::new(3);
+        for _ in 0..1000 {
+            let i = g.weighted(&[0, 3, 0, 1]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn pick_covers_all_elements_eventually() {
+        let mut g = Gen::new(4);
+        let xs = [10, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let v = *g.pick(&xs);
+            seen[(v / 10 - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn check_runs_and_reports_failures() {
+        check("always-true", |g| {
+            let _ = g.u64();
+        });
+        let failed = catch_unwind(AssertUnwindSafe(|| {
+            check("always-false", |_| panic!("expected failure"));
+        }));
+        assert!(failed.is_err());
+    }
+
+    #[test]
+    fn regression_seeds_run_first() {
+        use std::cell::RefCell;
+        let seen: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+        check_with("record-seeds", &[42, 43], |g| {
+            // The first draw of Gen::new(s) is a pure function of s, so the
+            // first two recorded values must come from seeds 42 and 43.
+            seen.borrow_mut().push(g.u64());
+        });
+        let seen = seen.into_inner();
+        assert_eq!(seen[0], Gen::new(42).u64());
+        assert_eq!(seen[1], Gen::new(43).u64());
+        assert_eq!(seen.len() as u64, 2 + cases());
+    }
+}

@@ -4,11 +4,12 @@
 use crate::topology::{cross_routes, five_hop, mix_routes, paper_tandem};
 use lit_analysis::DurationHistogram;
 use lit_core::{
-    ClassedAdmission, DRule, DelayClass, LitDiscipline, PathBounds, Procedure, SessionRequest,
+    install_oracle_bounds, ClassedAdmission, DRule, DelayClass, LitDiscipline, PathBounds,
+    Procedure, SessionRequest,
 };
 use lit_net::{
-    DelayAssignment, Network, NetworkBuilder, OccupancyHistogram, QueueKind, SessionId,
-    SessionSpec, SessionStats, StatsConfig,
+    DelayAssignment, DisciplineFactory, Network, NetworkBuilder, OccupancyHistogram, OracleConfig,
+    OracleMode, QueueKind, SessionId, SessionSpec, SessionStats, StatsConfig,
 };
 use lit_sim::{Duration, Time};
 use lit_traffic::{DeterministicSource, OnOffConfig, OnOffSource, PoissonSource, ATM_CELL_BITS};
@@ -238,6 +239,26 @@ pub fn fine_stats() -> StatsConfig {
     }
 }
 
+/// Finish a Leave-in-Time network build, arming the conformance oracle at
+/// the process-global mode (the CLI's `--oracle` flag, default off) and
+/// installing every session's paper bounds so the pathwise delay, jitter,
+/// and CCDF checks run alongside the experiment.
+pub fn finish_lit(b: NetworkBuilder) -> Network {
+    finish_with_oracle(b, &LitDiscipline::factory())
+}
+
+/// [`finish_lit`] with an explicit factory — for call sites that already
+/// hold a Leave-in-Time factory by another name. The oracle's invariants
+/// are LiT's; do not use this with baseline disciplines.
+pub fn finish_with_oracle(b: NetworkBuilder, factory: &DisciplineFactory<'_>) -> Network {
+    let mode = lit_net::oracle::global_mode();
+    let mut net = b.oracle(OracleConfig::new(mode)).build(factory);
+    if mode != OracleMode::Off {
+        install_oracle_bounds(&mut net);
+    }
+    net
+}
+
 /// Build the MIX configuration, all sessions ON-OFF with the given mean
 /// OFF time, under admission control procedure 1 with one class
 /// (`d = L/r`). Returns the network and the tagged five-hop session.
@@ -272,7 +293,7 @@ pub fn build_mix_one_class(a_off: Duration, seed: u64) -> (Network, SessionId) {
             }
         }
     }
-    let net = b.build(&LitDiscipline::factory());
+    let net = finish_lit(b);
     (net, tagged.expect("MIX contains the five-hop route"))
 }
 
@@ -367,7 +388,7 @@ pub fn build_mix_classed(a_off: Duration, seed: u64, procedure: Procedure) -> (N
         class2_nojc: find(5),
         class2_jc: find(6),
     };
-    let net = b.build(&LitDiscipline::factory());
+    let net = finish_lit(b);
     (net, tagged)
 }
 
@@ -433,7 +454,14 @@ pub fn build_cross_onoff_queued(seed: u64, queue: QueueKind) -> (Network, Sessio
         ));
         add(&mut b, &mut admission, route, 1_472_000, false, src);
     }
-    let net = b.build(&LitDiscipline::factory());
+    // A bucketed eligible queue deliberately approximates deadline order,
+    // so the oracle's exactness invariants do not apply to the ablation
+    // arms — only the exact queue runs under the oracle.
+    let net = if queue == QueueKind::Exact {
+        finish_lit(b)
+    } else {
+        b.build(&LitDiscipline::factory())
+    };
     (net, no_jc, jc)
 }
 
@@ -513,7 +541,7 @@ pub fn build_cross_poisson(
             }
         }
     }
-    let net = b.build(&LitDiscipline::factory());
+    let net = finish_lit(b);
     (net, tagged)
 }
 

@@ -14,7 +14,8 @@
 //! priority gives the lowest raw delay.
 
 use super::common::{
-    max_lateness_fraction, run_points, voice_bounds, RunConfig, T1_BPS, VOICE_BPS,
+    finish_with_oracle, max_lateness_fraction, run_points, voice_bounds, RunConfig, T1_BPS,
+    VOICE_BPS,
 };
 use crate::report::{ms, Table};
 use crate::topology::{cross_routes, five_hop, paper_tandem};
@@ -73,7 +74,15 @@ fn run_one(factory: &DisciplineFactory<'_>, name: &'static str, cfg: &RunConfig)
         );
     }
     let _ = T1_BPS; // victim + misbehaver + filler stay below C reserved
-    let mut net = b.build(factory);
+                    // The pathwise bounds hold for ANY arrival pattern (the firewall
+                    // property itself), so the Leave-in-Time arm runs under the oracle —
+                    // misbehaving source included. Baseline disciplines use other
+                    // deadline semantics and are exempt.
+    let mut net = if name == "leave-in-time" {
+        finish_with_oracle(b, factory)
+    } else {
+        b.build(factory)
+    };
     net.run_until(cfg.horizon(120));
     let st = net.session_stats(victim);
     let (pb, dref) = voice_bounds(&net, victim);

@@ -13,10 +13,12 @@
 //! shifted co-simulated reference CCDF. There is no analytic column —
 //! that is the point.
 
-use super::common::{max_lateness_fraction, run_points, PooledSession, RunConfig, T1_BPS};
+use super::common::{
+    finish_lit, max_lateness_fraction, run_points, PooledSession, RunConfig, T1_BPS,
+};
 use crate::report::{frac, Table};
 use crate::topology::{cross_routes, five_hop, paper_tandem};
-use lit_core::{ClassedAdmission, DRule, LitDiscipline, PathBounds, SessionRequest};
+use lit_core::{ClassedAdmission, DRule, PathBounds, SessionRequest};
 use lit_net::{DelayAssignment, NetworkBuilder, SessionId, SessionSpec};
 use lit_sim::Duration;
 use lit_traffic::{ParetoOnOffConfig, ParetoOnOffSource, PoissonSource, ATM_CELL_BITS};
@@ -97,7 +99,7 @@ fn build(seed: u64) -> (lit_net::Network, SessionId) {
         );
     }
 
-    let net = b.build(&LitDiscipline::factory());
+    let net = finish_lit(b);
     (net, tagged)
 }
 

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod fuzz;
 pub mod report;
 pub mod scenario;
 pub mod topology;

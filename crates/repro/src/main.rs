@@ -25,6 +25,7 @@
 //! changes results, only wall-clock time. Tables print to stdout and are
 //! also written as CSV under `--out` (default `results/`).
 
+use lit_net::OracleMode;
 use lit_repro::experiments::{
     ablation, fig14_17, fig7, fig8, fig9_11, firewall, heavytail, tables, RunConfig,
 };
@@ -44,6 +45,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] \
+         [--oracle off|count|panic] \
          <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>"
     );
     std::process::exit(2);
@@ -72,6 +74,13 @@ fn parse_args() -> Args {
             "--threads" => threads = Some(num(&mut it).max(1) as usize),
             "--replicas" => replicas = Some(num(&mut it).max(1) as u32),
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--oracle" => {
+                let mode = it
+                    .next()
+                    .and_then(|v| v.parse::<OracleMode>().ok())
+                    .unwrap_or_else(|| usage());
+                lit_net::oracle::set_global_mode(mode);
+            }
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             c if !c.starts_with('-') => extra.push(c.to_string()),
             _ => usage(),
@@ -209,6 +218,23 @@ fn run_command(cmd: &str, cfg: &RunConfig, out: &Path) -> bool {
     true
 }
 
+/// After a run: report the process-global conformance-oracle tally (every
+/// Leave-in-Time network built by the experiments feeds it, drain checks
+/// included) and turn a nonzero count into a failing exit.
+fn oracle_verdict() -> ExitCode {
+    if lit_net::oracle::global_mode() == OracleMode::Off {
+        return ExitCode::SUCCESS;
+    }
+    let v = lit_net::oracle::global_violations();
+    if v == 0 {
+        eprintln!("oracle: 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("oracle: {v} violation(s) — bounds do not conform");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.command == "scenario" {
@@ -223,7 +249,7 @@ fn main() -> ExitCode {
         return match Scenario::parse(&text) {
             Ok(sc) => {
                 emit(&args.out, "scenario", &sc.run_report());
-                ExitCode::SUCCESS
+                oracle_verdict()
             }
             Err(e) => {
                 eprintln!("scenario {path}: {e}");
@@ -235,15 +261,19 @@ fn main() -> ExitCode {
         Some(s) => format!("{s} s (reduced)"),
         None => "paper horizons (5/10 min)".to_string(),
     };
+    let oracle = match lit_net::oracle::global_mode() {
+        OracleMode::Off => String::new(),
+        m => format!(" | oracle {m:?}"),
+    };
     eprintln!(
-        "lit-repro: {} | seed {} | horizon {mode} | {} worker thread(s) | {} replica(s)",
+        "lit-repro: {} | seed {} | horizon {mode} | {} worker thread(s) | {} replica(s){oracle}",
         args.command,
         args.cfg.seed,
         args.cfg.worker_count(),
         args.cfg.replicas.max(1),
     );
     if run_command(&args.command, &args.cfg, &args.out) {
-        ExitCode::SUCCESS
+        oracle_verdict()
     } else {
         usage()
     }

@@ -22,15 +22,22 @@
 //! per-hop delay; default is `L/r`), `shape=<rate>:<bits>` (pass the
 //! source through a token-bucket shaper). Sources: `onoff`, `poisson`,
 //! `cbr(gap,len[,offset])`, `burst(period,count,len)`.
+//!
+//! Further directives: `backend heap|calendar` selects the event-set
+//! implementation (default heap; both deliver identically). A parsed
+//! [`Scenario`] serializes back to text with [`Scenario::to_text`] — the
+//! differential fuzzer uses this to write minimized failures as
+//! replayable files.
 
 use crate::report::{ms, Table};
 use lit_baselines::{
     EddDiscipline, FcfsDiscipline, HrrDiscipline, ScfqDiscipline, StopAndGoDiscipline,
     VirtualClockDiscipline, WfqDiscipline,
 };
-use lit_core::{LitDiscipline, PathBounds};
+use lit_core::{install_oracle_bounds, LitDiscipline, PathBounds};
 use lit_net::{
-    DelayAssignment, LinkParams, Network, NetworkBuilder, QueueKind, SessionId, SessionSpec,
+    DelayAssignment, EventBackend, LinkParams, Network, NetworkBuilder, OracleConfig, OracleMode,
+    QueueKind, SessionId, SessionSpec, StatsConfig,
 };
 use lit_sim::{Duration, Time};
 use lit_traffic::{
@@ -56,7 +63,7 @@ impl std::error::Error for ParseError {}
 
 /// Which discipline the scenario runs under.
 #[derive(Clone, Debug, PartialEq)]
-enum DisciplineChoice {
+pub(crate) enum DisciplineChoice {
     Lit,
     Fcfs,
     VirtualClock,
@@ -69,20 +76,20 @@ enum DisciplineChoice {
 }
 
 /// One session line.
-#[derive(Clone, Debug)]
-struct SessionLine {
-    first: usize,
-    last: usize,
-    rate: u64,
-    jc: bool,
-    d: Option<Duration>,
-    shape: Option<(u64, u64)>,
-    source: SourceSpec,
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct SessionLine {
+    pub(crate) first: usize,
+    pub(crate) last: usize,
+    pub(crate) rate: u64,
+    pub(crate) jc: bool,
+    pub(crate) d: Option<Duration>,
+    pub(crate) shape: Option<(u64, u64)>,
+    pub(crate) source: SourceSpec,
 }
 
 /// A parsed source description.
-#[derive(Clone, Debug)]
-enum SourceSpec {
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum SourceSpec {
     OnOff {
         on: Duration,
         off: Duration,
@@ -106,15 +113,16 @@ enum SourceSpec {
 }
 
 /// A fully parsed scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
-    nodes: usize,
-    link: LinkParams,
-    discipline: DisciplineChoice,
-    queue: QueueKind,
-    seed: u64,
-    sessions: Vec<SessionLine>,
-    horizon: Duration,
+    pub(crate) nodes: usize,
+    pub(crate) link: LinkParams,
+    pub(crate) discipline: DisciplineChoice,
+    pub(crate) queue: QueueKind,
+    pub(crate) backend: EventBackend,
+    pub(crate) seed: u64,
+    pub(crate) sessions: Vec<SessionLine>,
+    pub(crate) horizon: Duration,
 }
 
 /// Parse a duration literal like `13.25ms`, `60s`, `100us`, `500ns`.
@@ -137,6 +145,38 @@ fn parse_duration(s: &str) -> Result<Duration, String> {
         other => return Err(format!("unknown duration unit '{other}'")),
     };
     Ok(Duration::from_secs_f64(secs))
+}
+
+/// Render a duration as the shortest exact literal [`parse_duration`]
+/// accepts: the coarsest unit the value is a whole multiple of, with a
+/// fractional-nanosecond fallback for sub-ns precision.
+fn fmt_duration(d: Duration) -> String {
+    let ps = d.as_ps();
+    if ps.is_multiple_of(1_000_000_000_000) {
+        format!("{}s", ps / 1_000_000_000_000)
+    } else if ps.is_multiple_of(1_000_000_000) {
+        format!("{}ms", ps / 1_000_000_000)
+    } else if ps.is_multiple_of(1_000_000) {
+        format!("{}us", ps / 1_000_000)
+    } else if ps.is_multiple_of(1_000) {
+        format!("{}ns", ps / 1_000)
+    } else {
+        format!("{}.{:03}ns", ps / 1_000, ps % 1_000)
+    }
+}
+
+/// Run-time overrides for [`Scenario::run_opts`], none of which are part
+/// of the scenario text itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Replace the scenario's event-set backend.
+    pub backend: Option<EventBackend>,
+    /// Replace the default statistics sizing (e.g. to turn on the
+    /// delivery log for packet-for-packet comparison).
+    pub stats: Option<StatsConfig>,
+    /// Conformance-oracle mode; armed only when the discipline is `lit`
+    /// with an exact eligible queue.
+    pub oracle: OracleMode,
 }
 
 /// Split `key=value` (value may be absent for flags).
@@ -163,6 +203,32 @@ fn call(tok: &str) -> Option<(&str, Vec<(&str, &str)>)> {
     Some((name, args))
 }
 
+/// Parse a discipline name as written after the `discipline` directive.
+fn parse_discipline(name: &str) -> Result<DisciplineChoice, String> {
+    Ok(match name {
+        "lit" | "leave-in-time" => DisciplineChoice::Lit,
+        "fcfs" => DisciplineChoice::Fcfs,
+        "virtualclock" | "vc" => DisciplineChoice::VirtualClock,
+        "wfq" => DisciplineChoice::Wfq,
+        "scfq" => DisciplineChoice::Scfq,
+        "delay-edd" => DisciplineChoice::DelayEdd,
+        "jitter-edd" => DisciplineChoice::JitterEdd,
+        other => {
+            if let Some(frame) = other.strip_prefix("stop-and-go:frame=") {
+                DisciplineChoice::StopAndGo(parse_duration(frame)?)
+            } else if let Some(slots) = other.strip_prefix("hrr:slots=") {
+                DisciplineChoice::Hrr(
+                    slots
+                        .parse()
+                        .map_err(|_| "hrr: bad slot count".to_string())?,
+                )
+            } else {
+                return Err(format!("unknown discipline '{other}'"));
+            }
+        }
+    })
+}
+
 impl Scenario {
     /// Parse a scenario from text.
     pub fn parse(text: &str) -> Result<Scenario, ParseError> {
@@ -170,6 +236,7 @@ impl Scenario {
         let mut link = LinkParams::paper_t1();
         let mut discipline = DisciplineChoice::Lit;
         let mut queue = QueueKind::Exact;
+        let mut backend = EventBackend::Heap;
         let mut seed = 0u64;
         let mut sessions = Vec::new();
         let mut horizon = None;
@@ -226,29 +293,16 @@ impl Scenario {
                     let name = toks
                         .next()
                         .ok_or_else(|| err(ln, "discipline: missing name".into()))?;
-                    discipline = match name {
-                        "lit" | "leave-in-time" => DisciplineChoice::Lit,
-                        "fcfs" => DisciplineChoice::Fcfs,
-                        "virtualclock" | "vc" => DisciplineChoice::VirtualClock,
-                        "wfq" => DisciplineChoice::Wfq,
-                        "scfq" => DisciplineChoice::Scfq,
-                        "delay-edd" => DisciplineChoice::DelayEdd,
-                        "jitter-edd" => DisciplineChoice::JitterEdd,
-                        other => {
-                            if let Some(frame) = other.strip_prefix("stop-and-go:frame=") {
-                                DisciplineChoice::StopAndGo(
-                                    parse_duration(frame).map_err(|e| err(ln, e))?,
-                                )
-                            } else if let Some(slots) = other.strip_prefix("hrr:slots=") {
-                                DisciplineChoice::Hrr(
-                                    slots
-                                        .parse()
-                                        .map_err(|_| err(ln, "hrr: bad slot count".into()))?,
-                                )
-                            } else {
-                                return Err(err(ln, format!("unknown discipline '{other}'")));
-                            }
-                        }
+                    discipline = parse_discipline(name).map_err(|e| err(ln, e))?;
+                }
+                "backend" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "backend: missing name".into()))?;
+                    backend = match name {
+                        "heap" => EventBackend::Heap,
+                        "calendar" => EventBackend::Calendar,
+                        other => return Err(err(ln, format!("unknown backend '{other}'"))),
                     };
                 }
                 "queue" => {
@@ -352,6 +406,7 @@ impl Scenario {
             link,
             discipline,
             queue,
+            backend,
             seed,
             sessions,
             horizon,
@@ -402,14 +457,50 @@ impl Scenario {
     }
 
     /// Build and run the scenario; returns the finished network and the
-    /// session ids in definition order.
+    /// session ids in definition order. The conformance oracle follows the
+    /// process-global mode (the CLI's `--oracle` flag).
     pub fn run(&self) -> (Network, Vec<SessionId>) {
-        let mut b = NetworkBuilder::new().seed(self.seed).queue_kind(self.queue);
+        self.run_opts(&RunOptions {
+            oracle: lit_net::oracle::global_mode(),
+            ..RunOptions::default()
+        })
+    }
+
+    /// [`Scenario::run`] with explicit overrides — the differential
+    /// fuzzer's entry point.
+    pub fn run_opts(&self, opts: &RunOptions) -> (Network, Vec<SessionId>) {
+        let mut b = NetworkBuilder::new()
+            .seed(self.seed)
+            .queue_kind(self.queue)
+            .event_backend(opts.backend.unwrap_or(self.backend));
+        // The oracle's invariants are Leave-in-Time's, checked against an
+        // exact deadline queue; other disciplines and the bucketed
+        // ablation queue run unchecked.
+        let oracle = if self.discipline == DisciplineChoice::Lit && self.queue == QueueKind::Exact {
+            opts.oracle
+        } else {
+            OracleMode::Off
+        };
+        b = b.oracle(OracleConfig::new(oracle));
+        if let Some(stats) = opts.stats {
+            b = b.stats(stats);
+        }
         let nodes = b.tandem(self.nodes, self.link);
         let mut ids = Vec::new();
         for s in &self.sessions {
             let mut spec = SessionSpec::atm(SessionId(0), s.rate);
             spec.jitter_control = s.jc;
+            // The spec's packet-length range must cover what the source
+            // emits: L_max enters d_max (eq. 9's holding-time stamp) and
+            // β; L_min enters the jitter bound.
+            let len = match s.source {
+                SourceSpec::OnOff { len, .. }
+                | SourceSpec::Poisson { len, .. }
+                | SourceSpec::Cbr { len, .. }
+                | SourceSpec::Burst { len, .. } => len,
+            };
+            spec.max_len_bits = len;
+            spec.min_len_bits = len;
             if let Some(d) = s.d {
                 spec.delay = DelayAssignment::Fixed(d);
             }
@@ -457,8 +548,97 @@ impl Scenario {
             DisciplineChoice::JitterEdd => Box::new(EddDiscipline::factory(true)),
         };
         let mut net = b.build(&*factory);
+        if oracle != OracleMode::Off {
+            install_oracle_bounds(&mut net);
+        }
         net.run_until(Time::ZERO + self.horizon);
         (net, ids)
+    }
+
+    /// The same scenario under another discipline (for differential runs).
+    pub fn with_discipline(&self, name: &str) -> Result<Scenario, String> {
+        Ok(Scenario {
+            discipline: parse_discipline(name)?,
+            ..self.clone()
+        })
+    }
+
+    /// Serialize back to scenario text. `parse(to_text(sc)) == sc` for
+    /// every scenario whose durations are whole nanoseconds (all of the
+    /// fuzzer's, and every file under `scenarios/`).
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "nodes {} rate={} prop={} lmax={}",
+            self.nodes,
+            self.link.rate_bps,
+            fmt_duration(self.link.propagation),
+            self.link.lmax_bits,
+        );
+        let disc = match &self.discipline {
+            DisciplineChoice::Lit => "lit".to_string(),
+            DisciplineChoice::Fcfs => "fcfs".to_string(),
+            DisciplineChoice::VirtualClock => "virtualclock".to_string(),
+            DisciplineChoice::Wfq => "wfq".to_string(),
+            DisciplineChoice::Scfq => "scfq".to_string(),
+            DisciplineChoice::StopAndGo(f) => format!("stop-and-go:frame={}", fmt_duration(*f)),
+            DisciplineChoice::Hrr(slots) => format!("hrr:slots={slots}"),
+            DisciplineChoice::DelayEdd => "delay-edd".to_string(),
+            DisciplineChoice::JitterEdd => "jitter-edd".to_string(),
+        };
+        let _ = writeln!(out, "discipline {disc}");
+        if let QueueKind::Bucketed { bucket } = self.queue {
+            let _ = writeln!(out, "queue bucket={}", fmt_duration(bucket));
+        }
+        if self.backend == EventBackend::Calendar {
+            let _ = writeln!(out, "backend calendar");
+        }
+        let _ = writeln!(out, "seed {}", self.seed);
+        for s in &self.sessions {
+            let _ = write!(out, "session route={}..{} rate={}", s.first, s.last, s.rate);
+            if s.jc {
+                let _ = write!(out, " jc");
+            }
+            if let Some(d) = s.d {
+                let _ = write!(out, " d={}", fmt_duration(d));
+            }
+            if let Some((rate, depth)) = s.shape {
+                let _ = write!(out, " shape={rate}:{depth}");
+            }
+            let src = match &s.source {
+                SourceSpec::OnOff { on, off, t, len } => format!(
+                    "onoff(on={},off={},t={},len={len})",
+                    fmt_duration(*on),
+                    fmt_duration(*off),
+                    fmt_duration(*t),
+                ),
+                SourceSpec::Poisson { gap, len } => {
+                    format!("poisson(gap={},len={len})", fmt_duration(*gap))
+                }
+                SourceSpec::Cbr { gap, len, offset } => {
+                    if *offset == Duration::ZERO {
+                        format!("cbr(gap={},len={len})", fmt_duration(*gap))
+                    } else {
+                        format!(
+                            "cbr(gap={},len={len},offset={})",
+                            fmt_duration(*gap),
+                            fmt_duration(*offset),
+                        )
+                    }
+                }
+                SourceSpec::Burst { period, count, len } => {
+                    format!(
+                        "burst(period={},count={count},len={len})",
+                        fmt_duration(*period)
+                    )
+                }
+            };
+            let _ = writeln!(out, " source={src}");
+        }
+        let _ = writeln!(out, "run {}", fmt_duration(self.horizon));
+        out
     }
 
     /// Run and render per-session results. The last column is the
@@ -639,5 +819,150 @@ run 10s
         let sc = Scenario::parse(text).unwrap();
         let (net, ids) = sc.run();
         assert!(net.session_stats(ids[0]).delivered >= 200);
+    }
+
+    #[test]
+    fn to_text_round_trips_every_feature() {
+        // One scenario exercising every serializable field: non-default
+        // link, bucketed queue, calendar backend, jc, fixed d, shaping,
+        // all four source kinds, fractional-unit durations.
+        let text = "nodes 3 rate=3072000 prop=0.5ms lmax=848\n\
+                    discipline lit\n\
+                    queue bucket=1ms\n\
+                    backend calendar\n\
+                    seed 99\n\
+                    session route=0..2 rate=32000 jc d=13.25ms source=onoff(on=352ms,off=650ms,t=13.25ms,len=424)\n\
+                    session route=1..1 rate=64000 shape=64000:1696 source=poisson(gap=0.28804ms,len=848)\n\
+                    session route=0..1 rate=32000 source=cbr(gap=13.25ms,len=424,offset=1.5ms)\n\
+                    session route=2..2 rate=32000 source=burst(period=50ms,count=100,len=424)\n\
+                    run 2.5s\n";
+        let sc = Scenario::parse(text).unwrap();
+        let serialized = sc.to_text();
+        let back = Scenario::parse(&serialized).unwrap_or_else(|e| panic!("{e}\n{serialized}"));
+        assert_eq!(back, sc, "serialized:\n{serialized}");
+        // Serialization is a fixpoint: text → Scenario → text → Scenario
+        // converges after one round.
+        assert_eq!(back.to_text(), serialized);
+    }
+
+    #[test]
+    fn duration_formatting_picks_shortest_exact_unit() {
+        assert_eq!(fmt_duration(Duration::from_secs(60)), "60s");
+        assert_eq!(fmt_duration(Duration::from_ms(13)), "13ms");
+        assert_eq!(fmt_duration(Duration::from_us(13_250)), "13250us");
+        assert_eq!(fmt_duration(Duration::from_ns(500)), "500ns");
+        assert_eq!(fmt_duration(Duration::from_ps(1_500)), "1.500ns");
+        for d in [
+            Duration::from_us(13_250),
+            Duration::from_ps(287_999_999),
+            Duration::from_ns(1),
+        ] {
+            assert_eq!(parse_duration(&fmt_duration(d)).unwrap(), d, "{d}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error_with_context() {
+        // (input, expected substring of the message)
+        for (text, want) in [
+            ("nodes 2 bogus=1\nrun 1s", "unknown option 'bogus'"),
+            ("nodes x\nrun 1s", "bad count"),
+            ("nodes 2\ndiscipline tardis\nrun 1s", "unknown discipline"),
+            ("nodes 2\ndiscipline hrr:slots=zero\nrun 1s", "bad slot count"),
+            ("nodes 2\nqueue fifo\nrun 1s", "unknown queue kind"),
+            ("nodes 2\nbackend abacus\nrun 1s", "unknown backend"),
+            ("nodes 2\nseed minus-one\nrun 1s", "bad value"),
+            ("nodes 2\nrun 1parsec", "unknown duration unit"),
+            ("nodes 2\nrun -1s", "out of range"),
+            (
+                "nodes 2\nsession rate=1 source=poisson(gap=1ms,len=1)\nrun 1s",
+                "missing route",
+            ),
+            (
+                "nodes 2\nsession route=0..1 source=poisson(gap=1ms,len=1)\nrun 1s",
+                "missing rate",
+            ),
+            ("nodes 2\nsession route=0..1 rate=1\nrun 1s", "missing source"),
+            (
+                "nodes 2\nsession route=0..1 rate=1 source=chaos(x=1)\nrun 1s",
+                "unknown source kind",
+            ),
+            (
+                "nodes 2\nsession route=0..1 rate=1 source=poisson(len=1)\nrun 1s",
+                "missing 'gap'",
+            ),
+            (
+                "nodes 2\nsession route=0..1 rate=1 source=poisson\nrun 1s",
+                "bad source syntax",
+            ),
+            (
+                "nodes 2\nsession route=0..1 rate=1 shape=32000 source=poisson(gap=1ms,len=1)\nrun 1s",
+                "want rate:bits",
+            ),
+        ] {
+            let e = Scenario::parse(text).unwrap_err();
+            assert!(
+                e.message.contains(want),
+                "for {text:?}: got {:?}, want substring {want:?}",
+                e.message
+            );
+        }
+    }
+
+    const FIG8_CROSS_SCN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/fig8_cross.scn"
+    ));
+    const MISBEHAVER_SCN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/misbehaver.scn"
+    ));
+
+    #[test]
+    fn golden_fig8_cross_scenario() {
+        let sc = Scenario::parse(FIG8_CROSS_SCN).unwrap();
+        assert_eq!(sc.nodes, 5);
+        assert_eq!(sc.seed, 7);
+        assert_eq!(sc.discipline, DisciplineChoice::Lit);
+        assert_eq!(sc.horizon, Duration::from_secs(60));
+        assert_eq!(sc.sessions.len(), 7);
+        assert!(sc.sessions[1].jc && !sc.sessions[0].jc);
+        assert_eq!((sc.sessions[0].first, sc.sessions[0].last), (0, 4));
+        match sc.sessions[2].source {
+            SourceSpec::Poisson { gap, len } => {
+                assert_eq!(gap, Duration::from_ns(288_040));
+                assert_eq!(len, 424);
+            }
+            ref other => panic!("session 2: want poisson, got {other:?}"),
+        }
+        // Round-trips exactly (whole-ns durations throughout).
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+    }
+
+    #[test]
+    fn golden_misbehaver_scenario() {
+        let sc = Scenario::parse(MISBEHAVER_SCN).unwrap();
+        assert_eq!(sc.nodes, 1);
+        assert_eq!(sc.seed, 3);
+        assert_eq!(sc.horizon, Duration::from_secs(30));
+        assert_eq!(sc.sessions.len(), 2);
+        match sc.sessions[1].source {
+            SourceSpec::Burst { period, count, len } => {
+                assert_eq!(period, Duration::from_ms(50));
+                assert_eq!(count, 100);
+                assert_eq!(len, 424);
+            }
+            ref other => panic!("session 1: want burst, got {other:?}"),
+        }
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+    }
+
+    #[test]
+    fn with_discipline_swaps_only_the_discipline() {
+        let sc = Scenario::parse(MISBEHAVER_SCN).unwrap();
+        let vc = sc.with_discipline("virtualclock").unwrap();
+        assert_eq!(vc.discipline, DisciplineChoice::VirtualClock);
+        assert_eq!(vc.sessions, sc.sessions);
+        assert!(sc.with_discipline("tardis").is_err());
     }
 }

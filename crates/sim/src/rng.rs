@@ -8,8 +8,6 @@
 //! tagged session") and for the paper's firewall-property demonstrations.
 
 use crate::time::Duration;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// SplitMix64 step: a high-quality 64-bit mixer used only to derive child
 /// seeds from a master seed. (Algorithm from Steele, Lea & Flood,
@@ -47,38 +45,92 @@ impl SeedSeq {
     }
 }
 
+/// The xoshiro256++ core (Blackman & Vigna, "Scrambled Linear
+/// Pseudorandom Number Generators", 2019): 256 bits of state, top-tier
+/// statistical quality, and a few shifts/rotates per draw. Implemented
+/// in-repo so the kernel has zero external dependencies; the stream for a
+/// given seed is fixed forever (platform-independent integer ops only).
+#[derive(Clone, Debug)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expand a 64-bit seed into the 256-bit state with SplitMix64, as the
+    /// xoshiro authors recommend (avoids correlated low-entropy states and
+    /// can never produce the forbidden all-zero state).
+    fn from_seed(seed: u64) -> Self {
+        let mut st = seed;
+        Xoshiro256pp {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
 /// A seeded random stream with the distribution helpers the traffic models
-/// need. Wraps `StdRng` (ChaCha12), which is documented to be reproducible
-/// for a fixed seed across platforms.
+/// need. Wraps an in-repo xoshiro256++ core, reproducible for a fixed seed
+/// across platforms and toolchains.
 #[derive(Clone, Debug)]
 pub struct SimRng {
-    inner: StdRng,
+    inner: Xoshiro256pp,
 }
 
 impl SimRng {
     /// Deterministically seed a stream.
     pub fn seed_from(seed: u64) -> Self {
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            inner: Xoshiro256pp::from_seed(seed),
         }
     }
 
-    /// A uniform draw in `[0, 1)`.
+    /// A uniform draw in `[0, 1)` (53 random mantissa bits).
     #[inline]
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform `u64`.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random::<u64>()
+        self.inner.next_u64()
     }
 
-    /// A uniform draw in `[0, n)`. Panics if `n == 0`.
+    /// A uniform draw in `[0, n)`, debiased by Lemire's widening-multiply
+    /// rejection method. Panics if `n == 0`.
     #[inline]
     pub fn below(&mut self, n: u64) -> u64 {
-        self.inner.random_range(0..n)
+        assert!(n > 0, "SimRng::below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let t = n.wrapping_neg() % n;
+            while lo < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).

@@ -4,8 +4,8 @@
 //! interleaving of pushes and pops, the queue must agree with the model
 //! exactly — that is the determinism contract everything above relies on.
 
+use lit_prop::{check, Gen};
 use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
-use proptest::prelude::*;
 
 /// An operation against the queue.
 #[derive(Clone, Debug)]
@@ -14,42 +14,43 @@ enum Op {
     Pop,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => (0u64..1_000_000).prop_map(Op::Push),
-            1 => Just(Op::Pop),
-        ],
-        1..400,
-    )
+fn gen_ops(g: &mut Gen) -> Vec<Op> {
+    let n = g.size(1, 400);
+    (0..n)
+        .map(|_| match g.weighted(&[3, 1]) {
+            0 => Op::Push(g.below(1_000_000)),
+            _ => Op::Pop,
+        })
+        .collect()
 }
 
 /// Push times for the backend-agreement test: a narrow band (to force
 /// same-instant FIFO ties), a wide band, and far-future sentinels within
 /// a few ps of `Time::MAX` (the "never" markers long-running executors
 /// park in the queue).
-fn arb_times() -> impl Strategy<Value = Time> {
-    prop_oneof![
-        4 => (0u64..64).prop_map(|ps| Time::from_ps(ps * 1_000)),
-        3 => (0u64..1_000_000).prop_map(Time::from_us),
-        1 => (0u64..4).prop_map(|off| Time::from_ps(u64::MAX - off)),
-    ]
+fn gen_time(g: &mut Gen) -> Time {
+    match g.weighted(&[4, 3, 1]) {
+        0 => Time::from_ps(g.below(64) * 1_000),
+        1 => Time::from_us(g.below(1_000_000)),
+        _ => Time::from_ps(u64::MAX - g.below(4)),
+    }
 }
 
-fn arb_backend_ops() -> impl Strategy<Value = Vec<Option<Time>>> {
-    // `Some(t)` = push at `t`, `None` = pop.
-    prop::collection::vec(
-        prop_oneof![
-            3 => arb_times().prop_map(Some),
-            1 => Just(None),
-        ],
-        1..400,
-    )
+/// `Some(t)` = push at `t`, `None` = pop.
+fn gen_backend_ops(g: &mut Gen) -> Vec<Option<Time>> {
+    let n = g.size(1, 400);
+    (0..n)
+        .map(|_| match g.weighted(&[3, 1]) {
+            0 => Some(gen_time(g)),
+            _ => None,
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn queue_matches_sorted_reference(ops in arb_ops()) {
+#[test]
+fn queue_matches_sorted_reference() {
+    check("queue_matches_sorted_reference", |g| {
+        let ops = gen_ops(g);
         let mut q = EventQueue::new();
         // Reference: a Vec kept sorted by (time, insertion order).
         let mut model: Vec<(Time, u64, u64)> = Vec::new();
@@ -70,27 +71,30 @@ proptest! {
                         let (t, _, v) = model.remove(0);
                         Some((t, v))
                     };
-                    prop_assert_eq!(q.pop(), want);
+                    assert_eq!(q.pop(), want);
                 }
             }
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.len(), model.len());
             model.sort_by_key(|&(t, i, _)| (t, i));
-            prop_assert_eq!(q.peek_time(), model.first().map(|&(t, _, _)| t));
+            assert_eq!(q.peek_time(), model.first().map(|&(t, _, _)| t));
         }
         // Drain: remaining elements come out in exact model order.
         model.sort_by_key(|&(t, i, _)| (t, i));
         for &(t, _, v) in &model {
-            prop_assert_eq!(q.pop(), Some((t, v)));
+            assert_eq!(q.pop(), Some((t, v)));
         }
-        prop_assert!(q.is_empty());
-    }
+        assert!(q.is_empty());
+    });
+}
 
-    #[test]
-    fn calendar_and_heap_backends_agree(ops in arb_backend_ops()) {
+#[test]
+fn calendar_and_heap_backends_agree() {
+    check("calendar_and_heap_backends_agree", |g| {
         // The calendar ring is a pure engine swap: for ANY interleaving of
         // pushes and pops — including same-instant FIFO ties and sentinel
         // times at the far end of the clock — it must pop the exact
         // (time, payload) sequence the binary heap pops.
+        let ops = gen_backend_ops(g);
         let mut heap = EventQueue::with_backend(EventBackend::Heap);
         let mut cal = EventQueue::with_backend(EventBackend::Calendar);
         let mut idx = 0u64;
@@ -102,47 +106,59 @@ proptest! {
                     idx += 1;
                 }
                 None => {
-                    prop_assert_eq!(heap.pop(), cal.pop());
+                    assert_eq!(heap.pop(), cal.pop());
                 }
             }
-            prop_assert_eq!(heap.len(), cal.len());
-            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+            assert_eq!(heap.len(), cal.len());
+            assert_eq!(heap.peek_time(), cal.peek_time());
         }
         while !heap.is_empty() {
-            prop_assert_eq!(heap.pop(), cal.pop());
+            assert_eq!(heap.pop(), cal.pop());
         }
-        prop_assert_eq!(cal.pop(), None);
-    }
+        assert_eq!(cal.pop(), None);
+    });
+}
 
-    #[test]
-    fn duration_rate_roundtrip(bits in 1u64..10_000_000, rate in 1_000u64..10_000_000_000) {
+#[test]
+fn duration_rate_roundtrip() {
+    check("duration_rate_roundtrip", |g| {
+        let bits = g.range(1, 10_000_000);
+        let rate = g.range(1_000, 10_000_000_000);
         // from_bits_at_rate then bits_at_rate loses at most one bit.
         let d = Duration::from_bits_at_rate(bits, rate);
         let back = d.bits_at_rate(rate);
-        prop_assert!(back.abs_diff(bits) <= 1, "bits={bits} back={back}");
-    }
+        assert!(back.abs_diff(bits) <= 1, "bits={bits} back={back}");
+    });
+}
 
-    #[test]
-    fn duration_rate_is_monotone(
-        a in 0u64..1_000_000, b in 0u64..1_000_000, rate in 1_000u64..1_000_000_000
-    ) {
+#[test]
+fn duration_rate_is_monotone() {
+    check("duration_rate_is_monotone", |g| {
+        let a = g.below(1_000_000);
+        let b = g.below(1_000_000);
+        let rate = g.range(1_000, 1_000_000_000);
         let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(
-            Duration::from_bits_at_rate(lo, rate) <= Duration::from_bits_at_rate(hi, rate)
-        );
-    }
+        assert!(Duration::from_bits_at_rate(lo, rate) <= Duration::from_bits_at_rate(hi, rate));
+    });
+}
 
-    #[test]
-    fn rng_streams_reproducible(seed in any::<u64>()) {
+#[test]
+fn rng_streams_reproducible() {
+    check("rng_streams_reproducible", |g| {
+        let seed = g.u64();
         let mut a = SimRng::seed_from(seed);
         let mut b = SimRng::seed_from(seed);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
-    }
+    });
+}
 
-    #[test]
-    fn exponential_is_nonnegative_finite(seed in any::<u64>(), mean_us in 1u64..10_000_000) {
+#[test]
+fn exponential_is_nonnegative_finite() {
+    check("exponential_is_nonnegative_finite", |g| {
+        let seed = g.u64();
+        let mean_us = g.range(1, 10_000_000);
         let mut rng = SimRng::seed_from(seed);
         let mean = Duration::from_us(mean_us);
         for _ in 0..64 {
@@ -150,7 +166,7 @@ proptest! {
             // No panic and representable: that is the contract (the
             // draw itself is unbounded above but astronomically unlikely
             // to overflow f64→u64 at these means).
-            prop_assert!(x >= Duration::ZERO);
+            assert!(x >= Duration::ZERO);
         }
-    }
+    });
 }

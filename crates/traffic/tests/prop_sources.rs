@@ -4,82 +4,93 @@
 //! * long-run rates track `mean_rate_bps` where defined;
 //! * the token bucket's exact integer arithmetic never drifts.
 
+use lit_prop::check;
 use lit_sim::{Duration, SimRng, Time};
 use lit_traffic::{
     BurstSource, DeterministicSource, OnOffConfig, OnOffSource, PoissonSource, Source, TokenBucket,
 };
-use proptest::prelude::*;
 
-fn assert_monotone(src: &mut dyn Source, rng: &mut SimRng, n: usize) -> Result<(), TestCaseError> {
+fn assert_monotone(src: &mut dyn Source, rng: &mut SimRng, n: usize) {
     let mut prev = Time::ZERO;
     for _ in 0..n {
         let e = src.next_emission(rng).expect("infinite source");
-        prop_assert!(e.at >= prev, "time went backwards: {} < {}", e.at, prev);
-        prop_assert!(e.len_bits > 0);
+        assert!(e.at >= prev, "time went backwards: {} < {}", e.at, prev);
+        assert!(e.len_bits > 0);
         prev = e.at;
     }
-    Ok(())
 }
 
-proptest! {
-    #[test]
-    fn onoff_monotone(
-        seed in any::<u64>(),
-        on_ms in 1u64..1_000,
-        off_ms in 0u64..2_000,
-        spacing_us in 100u64..100_000,
-    ) {
+#[test]
+fn onoff_monotone() {
+    check("onoff_monotone", |g| {
+        let seed = g.u64();
         let cfg = OnOffConfig {
-            mean_on: Duration::from_ms(on_ms),
-            mean_off: Duration::from_ms(off_ms),
-            spacing: Duration::from_us(spacing_us),
+            mean_on: Duration::from_ms(g.range(1, 1_000)),
+            mean_off: Duration::from_ms(g.below(2_000)),
+            spacing: Duration::from_us(g.range(100, 100_000)),
             len_bits: 424,
             initial_offset: Duration::ZERO,
         };
         let mut rng = SimRng::seed_from(seed);
-        assert_monotone(&mut OnOffSource::new(cfg), &mut rng, 300)?;
-    }
+        assert_monotone(&mut OnOffSource::new(cfg), &mut rng, 300);
+    });
+}
 
-    #[test]
-    fn poisson_monotone_and_rate(seed in any::<u64>(), gap_us in 10u64..1_000_000) {
+#[test]
+fn poisson_monotone_and_rate() {
+    check("poisson_monotone_and_rate", |g| {
+        let seed = g.u64();
+        let gap_us = g.range(10, 1_000_000);
         let mut rng = SimRng::seed_from(seed);
         let mut src = PoissonSource::new(Duration::from_us(gap_us), 424);
-        assert_monotone(&mut src, &mut rng, 300)?;
-        prop_assert!((src.mean_rate_bps().unwrap() - 424.0 / (gap_us as f64 / 1e6)).abs() < 1.0);
-    }
+        assert_monotone(&mut src, &mut rng, 300);
+        assert!((src.mean_rate_bps().unwrap() - 424.0 / (gap_us as f64 / 1e6)).abs() < 1.0);
+    });
+}
 
-    #[test]
-    fn deterministic_exact_grid(gap_us in 1u64..1_000_000, offset_us in 0u64..1_000_000) {
+#[test]
+fn deterministic_exact_grid() {
+    check("deterministic_exact_grid", |g| {
+        let gap_us = g.range(1, 1_000_000);
+        let offset_us = g.below(1_000_000);
         let mut rng = SimRng::seed_from(0);
         let mut src = DeterministicSource::new(Duration::from_us(gap_us), 424)
             .with_offset(Duration::from_us(offset_us));
         let mut expect = Time::from_us(gap_us + offset_us);
         for _ in 0..100 {
             let e = src.next_emission(&mut rng).unwrap();
-            prop_assert_eq!(e.at, expect);
+            assert_eq!(e.at, expect);
             expect += Duration::from_us(gap_us);
         }
-    }
+    });
+}
 
-    #[test]
-    fn burst_shape(period_ms in 1u64..100, burst in 1u32..50) {
+#[test]
+fn burst_shape() {
+    check("burst_shape", |g| {
+        let period_ms = g.range(1, 100);
+        let burst = g.range(1, 50) as u32;
         let mut rng = SimRng::seed_from(0);
         let mut src = BurstSource::new(Duration::from_ms(period_ms), burst, 424);
         for round in 1..=3u64 {
             let t0 = Time::from_ms(period_ms * round);
             for _ in 0..burst {
                 let e = src.next_emission(&mut rng).unwrap();
-                prop_assert_eq!(e.at, t0);
+                assert_eq!(e.at, t0);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn token_bucket_never_exceeds_depth_nor_goes_negative(
-        rate in 1_000u64..10_000_000,
-        depth_cells in 1u64..16,
-        offers in prop::collection::vec((0u64..100_000, 1u32..=424), 1..100),
-    ) {
+#[test]
+fn token_bucket_never_exceeds_depth_nor_goes_negative() {
+    check("token_bucket_never_exceeds_depth_nor_goes_negative", |g| {
+        let rate = g.range(1_000, 10_000_000);
+        let depth_cells = g.range(1, 16);
+        let n_offers = g.size(1, 100);
+        let offers: Vec<(u64, u32)> = (0..n_offers)
+            .map(|_| (g.below(100_000), g.range(1, 425) as u32))
+            .collect();
         let depth = depth_cells * 424;
         let mut tb = TokenBucket::new(rate, depth);
         let mut now = Time::ZERO;
@@ -87,15 +98,18 @@ proptest! {
         for (gap_us, len) in offers {
             now += Duration::from_us(gap_us);
             let level = tb.tokens_bits_at(now);
-            prop_assert!(level >= 0.0 && level <= depth as f64 + 1e-9);
+            assert!(level >= 0.0 && level <= depth as f64 + 1e-9);
             if tb.try_consume(now, len) {
                 spent += len as u64;
             }
             // Conservation: what was spent can never exceed the initial
             // fill plus what the refill could have earned by `now`.
-            let max_earn = depth as u128
-                + now.as_ps() as u128 * rate as u128 / 1_000_000_000_000u128;
-            prop_assert!((spent as u128) <= max_earn + 1, "spent {spent} > earn {max_earn}");
+            let max_earn =
+                depth as u128 + now.as_ps() as u128 * rate as u128 / 1_000_000_000_000u128;
+            assert!(
+                (spent as u128) <= max_earn + 1,
+                "spent {spent} > earn {max_earn}"
+            );
         }
-    }
+    });
 }
