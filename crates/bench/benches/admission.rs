@@ -56,4 +56,5 @@ fn main() {
     let b = Bencher::from_args();
     classed(&b);
     ac3(&b);
+    b.write_json("admission");
 }

@@ -44,4 +44,5 @@ fn main() {
     let b = Bencher::from_args();
     md1(&b);
     histogram(&b);
+    b.write_json("analysis");
 }

@@ -78,4 +78,5 @@ fn main() {
     mix(&b);
     cross(&b);
     disciplines(&b);
+    b.write_json("end_to_end");
 }

@@ -71,4 +71,5 @@ fn main() {
     let b = Bencher::from_args();
     hold(&b);
     burst(&b);
+    b.write_json("event_queue");
 }

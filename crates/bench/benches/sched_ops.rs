@@ -41,4 +41,5 @@ fn main() {
     bench_discipline(&b, "stop-and-go", || {
         Box::new(StopAndGoDiscipline::new(Duration::from_ms(10)))
     });
+    b.write_json("sched_ops");
 }

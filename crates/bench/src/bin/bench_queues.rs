@@ -89,8 +89,12 @@ fn main() {
 
     // Hand-rolled JSON: the workspace has no serde_json, and the shape is
     // four numbers per cell.
-    let mut json = String::from(
-        "{\n  \"bench\": \"event_queue_hold\",\n  \"unit\": \"ns/op\",\n  \"cells\": [\n",
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut json = format!(
+        "{{\n  \"bench\": \"event_queue_hold\",\n  \"unix_time_secs\": {stamp},\n  \"unit\": \"ns/op\",\n  \"cells\": [\n",
     );
     for (i, (n, heap, cal, speedup)) in cells.iter().enumerate() {
         json.push_str(&format!(

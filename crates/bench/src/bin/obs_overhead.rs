@@ -1,0 +1,329 @@
+//! `obs_overhead` — the observability layer's overhead guard.
+//!
+//! Runs one ~10⁶-event Leave-in-Time scenario three ways — probes off,
+//! metrics-only probe, metrics + trace probe — and reports wall time per
+//! simulator event for each arm. Two guards:
+//!
+//! * **within-run**: the probed arms may cost at most `--tol-on`
+//!   (default 10%) over the probes-off arm of the *same* run;
+//! * **cross-run** (only with `--baseline FILE`): the probes-off arm,
+//!   normalized by a fixed pure-CPU calibration loop to absorb machine
+//!   speed differences, may regress at most `--tol-off` (default 2%)
+//!   against the committed baseline.
+//!
+//! `--write-baseline` refreshes the committed baseline;
+//! every invocation writes `results/BENCH_obs_overhead.json`.
+//!
+//! Usage: `obs_overhead [--test|--quick] [--reps N] [--out DIR]
+//! [--baseline FILE] [--write-baseline] [--tol-off F] [--tol-on F]`
+
+use lit_net::{ObsProbe, OracleMode};
+use lit_repro::scenario::{RunOptions, Scenario};
+use lit_sim::Duration;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The paper's Figure 8 CROSS shape — two five-hop voice sessions
+/// against Poisson cross traffic near saturation on every link. 30
+/// simulated seconds push ~10⁶ events through the future-event set with
+/// realistically deep queues (an idle drip would understate the
+/// probes-off baseline and overstate the relative probe cost).
+const SCENARIO: &str = "\
+nodes 5 rate=1536000 prop=1ms lmax=424
+discipline lit
+seed 11
+session route=0..4 rate=32000 source=onoff(on=352ms,off=650ms,t=13.25ms,len=424)
+session route=0..4 rate=32000 jc source=onoff(on=352ms,off=650ms,t=13.25ms,len=424)
+session route=0..0 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=1..1 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=2..2 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=3..3 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+session route=4..4 rate=1472000 source=poisson(gap=0.28804ms,len=424)
+run 30s
+";
+
+/// Fixed pure-CPU workload whose wall time tracks single-core speed; the
+/// probes-off time divided by this is the machine-independent number the
+/// committed baseline stores.
+fn calibrate() -> u128 {
+    // Mixed ALU + memory reference load: random read-modify-writes over
+    // an L2-sized buffer, roughly the cache behavior of the simulator's
+    // heap churn. A pure-ALU spin tracks frequency scaling but not
+    // memory contention, and the off/calib ratio then drifts several
+    // percent between contention phases on shared runners.
+    const WORDS: usize = 1 << 16; // 512 KiB
+    let mut rng = lit_sim::SimRng::seed_from(3);
+    let mut buf = vec![0u64; WORDS];
+    let t = Instant::now();
+    for _ in 0..10_000_000u64 {
+        let r = rng.next_u64();
+        let idx = (r as usize) & (WORDS - 1);
+        buf[idx] = buf[idx].wrapping_add(r);
+    }
+    black_box(&buf);
+    t.elapsed().as_nanos()
+}
+
+/// Measured arm times and drift-cancelled overhead ratios.
+struct ArmTimes {
+    /// Best wall time per arm (off, metrics, trace), nanoseconds.
+    best: [u128; 3],
+    /// Minimum within-rep `arm / off` ratio for metrics and trace: the
+    /// two runs of one rep execute back to back, so common-mode machine
+    /// drift divides out and the minimum is the quietest paired sample.
+    overhead: [f64; 2],
+    /// Minimum paired `off / calibration` ratio — the machine-speed
+    /// normalized probes-off cost the committed baseline stores.
+    off_rel: f64,
+    /// Best calibration time, nanoseconds.
+    calib_ns: u128,
+    /// Future-event-set events per run (probe-independent).
+    events: u64,
+}
+
+/// Run the three arms — probes off, metrics-only, metrics + trace —
+/// with every probed run sandwiched directly after a fresh probes-off
+/// run (`off, metrics, off, trace` per rep), so each ratio pairs two
+/// back-to-back runs and slow drift (thermal throttling, noisy
+/// neighbours) divides out.
+fn time_arms(sc: &Scenario, reps: u32, trace_cap: usize) -> ArmTimes {
+    let opts = RunOptions {
+        backend: None,
+        stats: None,
+        oracle: OracleMode::Off,
+    };
+    let mut best = [u128::MAX; 3];
+    let mut overhead = [f64::INFINITY; 2];
+    let mut events = 0;
+    let mut timed = |probe: Option<Box<dyn lit_net::Probe>>| -> u128 {
+        let t = Instant::now();
+        let (net, _) = sc.run_probed(&opts, probe);
+        let ns = t.elapsed().as_nanos();
+        events = net.event_count();
+        black_box(&net);
+        ns
+    };
+    let mut off_rel = f64::INFINITY;
+    let mut calib_best = u128::MAX;
+    for _ in 0..reps.max(1) {
+        // Pair a calibration sample with the first off run of the rep so
+        // the cross-run baseline ratio is drift-cancelled the same way
+        // the within-run overhead ratios are.
+        let calib = calibrate();
+        calib_best = calib_best.min(calib);
+        for probed in 0..2 {
+            let off = timed(None);
+            let on = timed(Some(Box::new(ObsProbe::new(if probed == 0 {
+                0
+            } else {
+                trace_cap
+            }))));
+            best[0] = best[0].min(off);
+            best[probed + 1] = best[probed + 1].min(on);
+            overhead[probed] = overhead[probed].min(on as f64 / off.max(1) as f64 - 1.0);
+            if probed == 0 {
+                off_rel = off_rel.min(off as f64 / calib.max(1) as f64);
+            }
+        }
+    }
+    ArmTimes {
+        best,
+        overhead,
+        off_rel,
+        calib_ns: calib_best,
+        events,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_overhead [--test|--quick] [--reps N] [--out DIR] \
+         [--baseline FILE] [--write-baseline] [--tol-off F] [--tol-on F]"
+    );
+    std::process::exit(2);
+}
+
+/// Pull `"key": <number>` out of a parsed baseline file.
+fn field(v: &lit_obs::json::Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(|x| x.as_f64())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut reps = 7u32;
+    let mut out = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut tol_off = 0.02f64;
+    let mut tol_on = 0.10f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--test" | "--quick" => quick = true,
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--baseline" => baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--write-baseline" => write_baseline = true,
+            "--tol-off" => {
+                tol_off = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--tol-on" => {
+                tol_on = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--bench" => {} // appended by `cargo bench`
+            _ => usage(),
+        }
+    }
+    if std::env::var_os("BENCH_OUT").is_some() {
+        out = PathBuf::from(std::env::var_os("BENCH_OUT").unwrap());
+    }
+
+    let mut sc = Scenario::parse(SCENARIO).expect("built-in scenario parses");
+    if quick {
+        sc = sc.with_horizon(Duration::from_ms(4_000));
+        reps = reps.min(2);
+    }
+
+    let base_rel = baseline.as_ref().and_then(|p| {
+        std::fs::read_to_string(p)
+            .ok()
+            .and_then(|s| lit_obs::json::Value::parse(&s).ok())
+            .and_then(|v| field(&v, "off_rel_calib"))
+    });
+    let mut t = time_arms(&sc, reps, lit_obs::hub::DEFAULT_TRACE_CAP);
+    let over_base = |t: &ArmTimes| base_rel.is_some_and(|b| t.off_rel > b * (1.0 + tol_off));
+    let mut retry_reps = reps * 2;
+    for _ in 0..3 {
+        if !(t.overhead.iter().any(|&o| o > tol_on) || over_base(&t)) {
+            break;
+        }
+        // Shared runners have sustained slow phases; before failing the
+        // guard, fold in longer retries and keep the quietest pairs. A
+        // persistent regression still fails: no amount of retrying makes
+        // a genuinely slower binary match the baseline's quiet phase.
+        eprintln!("obs_overhead: overhead above tolerance, retrying with {retry_reps} reps");
+        let r = time_arms(&sc, retry_reps, lit_obs::hub::DEFAULT_TRACE_CAP);
+        for arm in 0..3 {
+            t.best[arm] = t.best[arm].min(r.best[arm]);
+        }
+        for probed in 0..2 {
+            t.overhead[probed] = t.overhead[probed].min(r.overhead[probed]);
+        }
+        t.off_rel = t.off_rel.min(r.off_rel);
+        t.calib_ns = t.calib_ns.min(r.calib_ns);
+        retry_reps = (retry_reps * 3 / 2).min(reps * 4);
+    }
+    let ([off_ns, metrics_ns, trace_ns], events) = (t.best, t.events);
+    let [metrics_over, trace_over] = t.overhead;
+    let (off_rel, calib_ns) = (t.off_rel, t.calib_ns);
+
+    let per_event = off_ns as f64 / events.max(1) as f64;
+    println!(
+        "obs_overhead: {events} events, calib {:.1} ms",
+        calib_ns as f64 / 1e6
+    );
+    println!(
+        "  off     {:>9.1} ms  ({per_event:.1} ns/event, {off_rel:.4} of calib)",
+        off_ns as f64 / 1e6
+    );
+    println!(
+        "  metrics {:>9.1} ms  ({:+.2}% vs off)",
+        metrics_ns as f64 / 1e6,
+        metrics_over * 100.0
+    );
+    println!(
+        "  trace   {:>9.1} ms  ({:+.2}% vs off)",
+        trace_ns as f64 / 1e6,
+        trace_over * 100.0
+    );
+
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("obs_overhead: cannot create {}: {e}", out.display());
+        std::process::exit(1);
+    }
+    let artifact = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"unix_time_secs\": {stamp},\n  \
+         \"events\": {events},\n  \"calib_ns\": {calib_ns},\n  \"off_ns\": {off_ns},\n  \
+         \"metrics_ns\": {metrics_ns},\n  \"trace_ns\": {trace_ns},\n  \
+         \"off_ns_per_event\": {per_event:.3},\n  \"off_rel_calib\": {off_rel:.6},\n  \
+         \"metrics_overhead\": {metrics_over:.6},\n  \"trace_overhead\": {trace_over:.6}\n}}\n"
+    );
+    let path = out.join("BENCH_obs_overhead.json");
+    if let Err(e) = std::fs::write(&path, &artifact) {
+        eprintln!("obs_overhead: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!("[json] {}", path.display());
+
+    if write_baseline {
+        let base = format!(
+            "{{\n  \"bench\": \"obs_overhead_baseline\",\n  \"unix_time_secs\": {stamp},\n  \
+             \"events\": {events},\n  \"off_rel_calib\": {off_rel:.6},\n  \
+             \"off_ns_per_event\": {per_event:.3}\n}}\n"
+        );
+        let bpath = baseline
+            .clone()
+            .unwrap_or_else(|| out.join("BENCH_obs_baseline.json"));
+        if let Err(e) = std::fs::write(&bpath, base) {
+            eprintln!("obs_overhead: cannot write {}: {e}", bpath.display());
+            std::process::exit(1);
+        }
+        println!("[baseline] {}", bpath.display());
+        return;
+    }
+
+    let mut failed = false;
+    if metrics_over > tol_on || trace_over > tol_on {
+        eprintln!(
+            "obs_overhead: FAIL probes-on overhead (metrics {:+.2}%, trace {:+.2}%) exceeds {:.0}%",
+            metrics_over * 100.0,
+            trace_over * 100.0,
+            tol_on * 100.0
+        );
+        failed = true;
+    }
+    if let Some(bpath) = baseline {
+        match base_rel {
+            Some(base) => {
+                if off_rel > base * (1.0 + tol_off) {
+                    eprintln!(
+                        "obs_overhead: FAIL probes-off regressed {:+.2}% vs baseline (limit {:.0}%)",
+                        (off_rel / base - 1.0) * 100.0,
+                        tol_off * 100.0
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "obs_overhead: probes-off {:+.2}% vs baseline (limit {:.0}%)",
+                        (off_rel / base - 1.0) * 100.0,
+                        tol_off * 100.0
+                    );
+                }
+            }
+            None => {
+                eprintln!("obs_overhead: cannot read baseline {}", bpath.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("obs_overhead: guards passed");
+}

@@ -1,0 +1,100 @@
+//! `trace_check` — validate an exported trace against the Chrome
+//! `trace_event` format, with the workspace's own JSON parser (the CI
+//! `obs-smoke` lane runs this on the `--trace` output of a figure run,
+//! so a malformed export fails the build, not the first person to open
+//! `chrome://tracing`).
+//!
+//! Checks, per the Trace Event Format spec (JSON Object Format):
+//!
+//! * the document is an object with a `traceEvents` array (a bare array
+//!   is also accepted — both load in `chrome://tracing`);
+//! * every event is an object with string `name` and `ph`;
+//! * `ph` is one of the phases the exporter emits (`X`, `i`, `M`);
+//! * non-metadata events carry numeric `ts` ≥ 0, `pid`, and `tid`;
+//! * complete events (`X`) carry numeric `dur` ≥ 0.
+//!
+//! Usage: `trace_check FILE.trace.json` — exits 0 on a valid trace,
+//! 1 with a diagnostic otherwise.
+
+use lit_obs::json::Value;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn check_event(i: usize, e: &Value) -> Result<(), String> {
+    let obj = |k: &str| e.get(k);
+    let name = obj("name")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("event {i}: missing string \"name\""))?;
+    let ph = obj("ph")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("event {i} ({name}): missing string \"ph\""))?;
+    if !matches!(ph, "X" | "i" | "M") {
+        return Err(format!("event {i} ({name}): unexpected phase {ph:?}"));
+    }
+    if ph == "M" {
+        // Metadata records name process/thread labels; no timestamp.
+        return Ok(());
+    }
+    let num = |k: &str| {
+        obj(k)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("event {i} ({name}, ph={ph}): missing numeric \"{k}\""))
+    };
+    let ts = num("ts")?;
+    if ts < 0.0 {
+        return Err(format!("event {i} ({name}): negative ts {ts}"));
+    }
+    num("pid")?;
+    num("tid")?;
+    if ph == "X" {
+        let dur = num("dur")?;
+        if dur < 0.0 {
+            return Err(format!("event {i} ({name}): negative dur {dur}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) if !p.starts_with('-') => p,
+        _ => {
+            eprintln!("usage: trace_check FILE.trace.json");
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = Value::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: not JSON: {e}")));
+    let events = match doc.get("traceEvents") {
+        Some(te) => te
+            .as_array()
+            .unwrap_or_else(|| fail(&format!("{path}: \"traceEvents\" is not an array"))),
+        None => doc.as_array().unwrap_or_else(|| {
+            fail(&format!(
+                "{path}: neither object with traceEvents nor array"
+            ))
+        }),
+    };
+    let mut phases = [0usize; 3]; // X, i, M
+    for (i, e) in events.iter().enumerate() {
+        if let Err(msg) = check_event(i, e) {
+            fail(&msg);
+        }
+        match e.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => phases[0] += 1,
+            Some("i") => phases[1] += 1,
+            _ => phases[2] += 1,
+        }
+    }
+    println!(
+        "trace_check: OK {path}: {} event(s) ({} complete, {} instant, {} metadata)",
+        events.len(),
+        phases[0],
+        phases[1],
+        phases[2]
+    );
+}

@@ -114,6 +114,16 @@ impl EligibleQueue {
             EligibleQueue::Bucketed { ring, .. } => ring.is_empty(),
         }
     }
+
+    /// Packets awaiting service (excluding any packet in transmission).
+    /// Used by the observability probe to sample queue depth; both
+    /// variants answer in O(1).
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            EligibleQueue::Exact { heap, .. } => heap.len(),
+            EligibleQueue::Bucketed { ring, .. } => ring.len(),
+        }
+    }
 }
 
 #[cfg(test)]

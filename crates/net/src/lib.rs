@@ -46,6 +46,7 @@ mod stats;
 
 pub use discipline::{Discipline, DisciplineFactory, ScheduleDecision};
 pub use equeue::QueueKind;
+pub use lit_obs::{NoopProbe, ObsProbe, PacketView, Probe};
 pub use lit_sim::EventBackend;
 pub use network::{Network, NetworkBuilder};
 pub use oracle::{OracleConfig, OracleMode, OracleTotals, SessionBounds, ViolationKind};
@@ -503,6 +504,77 @@ mod tests {
         net.run_until(Time::from_secs(1));
         assert_eq!(net.oracle_violations(), 0);
         assert_eq!(net.oracle_drain_check(), 0);
+    }
+
+    #[test]
+    fn probe_observes_full_lifecycle_and_violations() {
+        // A 2-hop regulated CBR session with an impossible delay bound:
+        // the probe must see every arrival/dispatch/departure, one
+        // holding sample per held packet, and the same violation count
+        // the oracle records.
+        let mut b = NetworkBuilder::new()
+            .oracle(OracleConfig::new(OracleMode::Count))
+            .probe(Box::new(ObsProbe::new(256)));
+        let nodes = b.tandem(2, LinkParams::paper_t1());
+        let sid = b.add_session(
+            SessionSpec::atm(SessionId(0), 32_000),
+            &nodes,
+            Box::new(DeterministicSource::paper_cbr()),
+        );
+        let mut net = b.build(&slack_fifo_factory(
+            Duration::from_ms(2),
+            Duration::from_ms(10),
+        ));
+        net.set_session_bounds(sid, lit_net_bounds(-1_000_000_000_000, i128::MAX / 2));
+        net.run_until(Time::from_secs(2));
+        net.oracle_drain_check();
+        let oracle_total = net.oracle_violations();
+        let delivered = net.session_stats(sid).delivered;
+        let transmitted: u64 = (0..2).map(|n| net.node_stats(NodeId(n)).transmitted).sum();
+
+        let probe = net.take_probe().expect("probe installed");
+        let obs = probe
+            .as_any()
+            .and_then(|a| a.downcast_ref::<ObsProbe>())
+            .expect("ObsProbe downcasts");
+        let s = &obs.shard;
+        assert!(delivered > 100);
+        assert_eq!(s.sessions[0].delivered, delivered);
+        let node_departs: u64 = s.nodes.iter().map(|n| n.departures).sum();
+        assert_eq!(node_departs, transmitted);
+        let hop_dispatches: u64 = s.sessions[0].hops.iter().map(|h| h.dispatches).sum();
+        assert_eq!(hop_dispatches, transmitted);
+        // Every packet was held 2 ms at every hop it reached (a packet
+        // still sitting in a regulator at the horizon has arrived but
+        // not yet released, so held sits between dispatches and arrivals).
+        let arrivals: u64 = s.nodes.iter().map(|n| n.arrivals).sum();
+        let held: u64 = s.sessions[0].hops.iter().map(|h| h.held).sum();
+        assert!(hop_dispatches <= held && held <= arrivals);
+        assert_eq!(
+            s.sessions[0].hops[0].holding_ps.max(),
+            Duration::from_ms(2).as_ps()
+        );
+        assert_eq!(s.violation_total(), oracle_total);
+        assert_eq!(
+            s.violations.get(ViolationKind::DelayBound.label()).copied(),
+            Some(delivered)
+        );
+        assert_eq!(
+            s.violations.get(ViolationKind::CcdfBound.label()).copied(),
+            Some(1)
+        );
+        // The trace saw exactly one event per recorded lifecycle stage.
+        assert_eq!(
+            obs.trace.total(),
+            arrivals + held + hop_dispatches + node_departs + oracle_total
+        );
+    }
+
+    fn lit_net_bounds(shift_ps: i128, jitter_spread_ps: i128) -> SessionBounds {
+        SessionBounds {
+            shift_ps,
+            jitter_spread_ps,
+        }
     }
 
     #[test]

@@ -21,8 +21,22 @@ use crate::oracle::{
 use crate::packet::{NodeId, Packet, SessionId};
 use crate::spec::{DelayAssignment, LinkParams, SessionSpec};
 use crate::stats::{DeliveryRecord, NodeStats, SessionStats, StatsConfig};
+use lit_obs::{PacketView, Probe};
 use lit_sim::{Duration, EventBackend, EventQueue, SeedSeq, SimRng, Time};
 use lit_traffic::{Emission, Source};
+
+/// The probe's view of a packet (identity + timing, no scheduler state).
+fn pview(pkt: &Packet) -> PacketView {
+    PacketView {
+        session: pkt.session.0,
+        seq: pkt.seq,
+        hop: pkt.hop,
+        len_bits: pkt.len_bits,
+        created: pkt.created,
+        arrived: pkt.arrived,
+    }
+}
+
 /// Runtime state of one server node.
 struct NodeRt {
     link: LinkParams,
@@ -77,6 +91,7 @@ pub struct NetworkBuilder {
     queue_kind: QueueKind,
     event_backend: EventBackend,
     oracle: OracleConfig,
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl Default for NetworkBuilder {
@@ -96,7 +111,16 @@ impl NetworkBuilder {
             queue_kind: QueueKind::Exact,
             event_backend: EventBackend::default(),
             oracle: OracleConfig::off(),
+            probe: None,
         }
+    }
+
+    /// Install an observability probe (default: none). With no probe the
+    /// executor pays one always-false branch per hook site and never
+    /// materializes a [`PacketView`] — the zero-cost-when-off contract.
+    pub fn probe(mut self, probe: Box<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// Enable the online conformance oracle (default: off). See
@@ -228,6 +252,11 @@ impl NetworkBuilder {
             sessions.push(rt);
         }
 
+        let mut probe = self.probe;
+        if let Some(p) = probe.as_deref_mut() {
+            p.on_build(self.master_seed, self.links.len(), &session_hops);
+        }
+
         Network {
             nodes,
             sessions,
@@ -236,6 +265,7 @@ impl NetworkBuilder {
             node_stats: (0..self.links.len()).map(|_| NodeStats::new()).collect(),
             session_stats,
             oracle: OracleRt::new(self.oracle, &session_hops),
+            probe,
         }
     }
 }
@@ -250,6 +280,7 @@ pub struct Network {
     node_stats: Vec<NodeStats>,
     session_stats: Vec<SessionStats>,
     oracle: OracleRt,
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl Network {
@@ -308,6 +339,7 @@ impl Network {
             Event::Inject { sid } => self.inject(sid),
             Event::Arrive { pkt } => self.arrive(pkt),
             Event::Eligible { pkt, key, at } => {
+                let node = self.sessions[pkt.session.index()].hops[pkt.hop as usize].0;
                 if self.oracle.enabled() && self.now != at {
                     let now = self.now;
                     self.oracle.violate(ViolationKind::ReleaseTime, || {
@@ -316,8 +348,23 @@ impl Network {
                             pkt.session.0, pkt.seq
                         )
                     });
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.on_violation(
+                            now,
+                            ViolationKind::ReleaseTime.label(),
+                            pkt.session.0,
+                            pkt.seq,
+                            node,
+                        );
+                    }
                 }
-                let node = self.sessions[pkt.session.index()].hops[pkt.hop as usize].0;
+                // This event only exists for packets the regulator held
+                // (`E > arrival`), so `now − arrived` is the holding time
+                // of eq. 8–9 and is strictly positive.
+                if let Some(p) = self.probe.as_deref_mut() {
+                    let held = self.now.saturating_since(pkt.arrived);
+                    p.on_eligible(self.now, node, pview(&pkt), held);
+                }
                 self.enqueue_eligible(node, pkt, key);
             }
             Event::TxDone { node } => self.tx_done(node),
@@ -370,6 +417,12 @@ impl Network {
         let occ = st.occupancy_bits[hop];
         st.buffer[hop].record(occ);
 
+        if let Some(p) = self.probe.as_deref_mut() {
+            let depth = self.nodes[node_idx].queue.len();
+            let events = self.events.len();
+            p.on_arrive(self.now, node_idx as u32, pview(&pkt), depth, events);
+        }
+
         let node = &mut self.nodes[node_idx];
         let decision = node.discipline.on_arrival(&mut pkt, self.now);
         debug_assert!(
@@ -389,6 +442,15 @@ impl Network {
                         pkt.seq, decision.eligible
                     )
                 });
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_violation(
+                        now,
+                        ViolationKind::EligibilityOrder.label(),
+                        sid as u32,
+                        pkt.seq,
+                        node_idx as u32,
+                    );
+                }
             } else {
                 *last = decision.eligible;
             }
@@ -399,6 +461,15 @@ impl Network {
                         pkt.seq, decision.eligible
                     )
                 });
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_violation(
+                        now,
+                        ViolationKind::ReleaseTime.label(),
+                        sid as u32,
+                        pkt.seq,
+                        node_idx as u32,
+                    );
+                }
             }
         }
         if decision.eligible > self.now {
@@ -434,6 +505,9 @@ impl Network {
         };
         let tx = node.link.tx_time(pkt.len_bits);
         node.discipline.on_service_start(&pkt, self.now);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_dispatch(self.now, node_idx, pview(&pkt));
+        }
         node.current = Some(pkt);
         self.node_stats[node_idx as usize].busy.set_busy(self.now);
         self.events
@@ -465,6 +539,15 @@ impl Network {
                     pkt.session.0, pkt.seq, pkt.deadline
                 )
             });
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.on_violation(
+                    finish,
+                    ViolationKind::Lateness.label(),
+                    pkt.session.0,
+                    pkt.seq,
+                    node_idx,
+                );
+            }
         }
 
         // Session accounting: the packet no longer occupies this node.
@@ -474,6 +557,13 @@ impl Network {
         st.occupancy_bits[hop] -= pkt.len_bits as u64;
 
         let hops = self.sessions[sid].hops.len();
+        if let Some(p) = self.probe.as_deref_mut() {
+            // Deadline slack F − departure; negative means the packet
+            // left late (the oracle's lateness check allows < L_MAX/C).
+            let slack = (pkt.deadline.as_ps() as i128 - finish.as_ps() as i128)
+                .clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+            p.on_depart(finish, node_idx, pview(&pkt), slack, hop + 1 >= hops);
+        }
         if hop + 1 < hops {
             pkt.hop += 1;
             self.events
@@ -506,6 +596,15 @@ impl Network {
                                 pkt.seq, b.shift_ps
                             )
                         });
+                        if let Some(p) = self.probe.as_deref_mut() {
+                            p.on_violation(
+                                finish,
+                                ViolationKind::DelayBound.label(),
+                                sid as u32,
+                                pkt.seq,
+                                u32::MAX,
+                            );
+                        }
                     }
                     // Ineq. 17 family: running jitter stays below the
                     // empirical D^ref_max plus the spread constant. Both
@@ -522,6 +621,15 @@ impl Network {
                                 pkt.seq, b.jitter_spread_ps
                             )
                         });
+                        if let Some(p) = self.probe.as_deref_mut() {
+                            p.on_violation(
+                                finish,
+                                ViolationKind::JitterBound.label(),
+                                sid as u32,
+                                pkt.seq,
+                                u32::MAX,
+                            );
+                        }
                     }
                 }
             }
@@ -550,6 +658,25 @@ impl Network {
         if self.oracle.enabled() {
             self.oracle.bounds[id.index()] = Some(bounds);
         }
+    }
+
+    /// Total events ever pushed onto the future-event set (a proxy for
+    /// simulation work, used by the overhead-guard benchmark).
+    pub fn event_count(&self) -> u64 {
+        self.events.pushed()
+    }
+
+    /// Remove the installed observability probe, finishing it first (a
+    /// hub-submitting probe delivers its shard exactly once; `finish` is
+    /// idempotent). Callers that install a concrete probe use this plus
+    /// `Probe::as_any` to read the recorded registries back.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        let now = self.now;
+        let mut p = self.probe.take();
+        if let Some(p) = p.as_deref_mut() {
+            p.finish(now);
+        }
+        p
     }
 
     /// Total conformance-oracle violations recorded by this network.
@@ -593,6 +720,15 @@ impl Network {
                         b.shift_ps
                     )
                 });
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_violation(
+                        self.now,
+                        ViolationKind::CcdfBound.label(),
+                        sid as u32,
+                        0,
+                        u32::MAX,
+                    );
+                }
             }
         }
         failed
@@ -610,6 +746,14 @@ impl Drop for Network {
             self.oracle.mode = OracleMode::Count;
             self.oracle_drain_check();
             self.oracle.mode = mode;
+        }
+        // Finish the probe *after* the drain check so drain-time CCDF
+        // violations are part of what a hub-submitting probe delivers.
+        if !std::thread::panicking() {
+            let now = self.now;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.finish(now);
+            }
         }
     }
 }

@@ -109,6 +109,22 @@ pub enum ViolationKind {
     CcdfBound,
 }
 
+impl ViolationKind {
+    /// A stable label naming the violated inequality of the paper — the
+    /// key used by the observability layer (metrics `violations` map and
+    /// trace-event `tag`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::EligibilityOrder => "eligibility-order (eq. 6-7)",
+            ViolationKind::ReleaseTime => "release-time (eq. 6-9)",
+            ViolationKind::Lateness => "lateness (non-saturation lemma)",
+            ViolationKind::DelayBound => "delay-bound (ineq. 12/15)",
+            ViolationKind::JitterBound => "jitter-bound (ineq. 17)",
+            ViolationKind::CcdfBound => "ccdf-bound (ineq. 16)",
+        }
+    }
+}
+
 impl std::fmt::Display for ViolationKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

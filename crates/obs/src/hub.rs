@@ -1,0 +1,234 @@
+//! The process-global collection point for probe output.
+//!
+//! Experiment runners spawn one network per replica, possibly across
+//! worker threads in arbitrary completion order. Each network's
+//! [`ObsProbe`] submits its shard and trace ring here at `finish`;
+//! export then merges shards commutatively and sorts trace rings by
+//! `(network master seed, content hash)`, so the exported bytes are
+//! identical for any `--threads` value. That invariant is what the
+//! thread-determinism snapshot test pins.
+//!
+//! The hub is disabled by default: [`global_probe`] returns `None` and
+//! the executor's hook sites stay a single always-false branch.
+
+use crate::metrics::ObsShard;
+use crate::probe::{ObsProbe, Probe};
+use crate::trace::{self, TraceEvent, TraceRing};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+const METRICS_ON: u8 = 1;
+const TRACE_ON: u8 = 2;
+
+/// Default per-network trace-ring tail capacity when tracing is enabled.
+/// Sized so the ring's working set (~72 B/slot, ~36 KiB total) stays
+/// close to L1: the tracer cycles through every slot continuously, and a
+/// larger ring turns each record into a cache-line miss — that is what
+/// the CI overhead guard's ≤ 10% probes-on budget polices. Raise via
+/// [`set_trace_cap`] when a deeper tail matters more than hot-path cost.
+pub const DEFAULT_TRACE_CAP: usize = 512;
+
+static FLAGS: AtomicU8 = AtomicU8::new(0);
+static TRACE_CAP: AtomicUsize = AtomicUsize::new(DEFAULT_TRACE_CAP);
+
+#[derive(Default)]
+struct Hub {
+    shard: ObsShard,
+    rings: Vec<(u64, TraceRing)>,
+}
+
+fn hub() -> &'static Mutex<Hub> {
+    static HUB: OnceLock<Mutex<Hub>> = OnceLock::new();
+    HUB.get_or_init(Mutex::default)
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Hub> {
+    // A poisoned hub only means a worker panicked mid-submit; the
+    // observations themselves are still mergeable.
+    hub().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Turn global collection on or off. `metrics` enables the registry,
+/// `trace` the lifecycle tracer (implies metrics storage exists but the
+/// ring stays empty when off). Does not clear prior submissions — call
+/// [`reset`] for that.
+pub fn set_global(metrics: bool, trace: bool) {
+    let mut f = 0;
+    if metrics {
+        f |= METRICS_ON;
+    }
+    if trace {
+        f |= TRACE_ON;
+    }
+    FLAGS.store(f, Ordering::SeqCst);
+}
+
+/// Override the per-network trace-ring tail capacity (tests use small
+/// rings; `DEFAULT_TRACE_CAP` otherwise).
+pub fn set_trace_cap(cap: usize) {
+    TRACE_CAP.store(cap.max(1), Ordering::SeqCst);
+}
+
+/// Whether any collection is on.
+pub fn enabled() -> bool {
+    FLAGS.load(Ordering::SeqCst) != 0
+}
+
+/// The probe a network should install, or `None` when collection is off
+/// (the executor then pays one branch per hook site and nothing more).
+pub fn global_probe() -> Option<Box<dyn Probe>> {
+    let f = FLAGS.load(Ordering::SeqCst);
+    if f == 0 {
+        return None;
+    }
+    let cap = if f & TRACE_ON != 0 {
+        TRACE_CAP.load(Ordering::SeqCst)
+    } else {
+        0
+    };
+    Some(Box::new(ObsProbe::new(cap).submitting()))
+}
+
+/// Deliver one network's observations. Called by [`Probe::finish`] on a
+/// submitting [`ObsProbe`];
+/// order across threads is irrelevant by construction.
+pub fn submit(shard: ObsShard, ring: TraceRing, seed: u64) {
+    let mut h = lock();
+    h.shard.merge(&shard);
+    if ring.total() > 0 && ring.enabled() {
+        h.rings.push((seed, ring));
+    }
+}
+
+/// Discard everything collected so far (flags are left as set).
+pub fn reset() {
+    let mut h = lock();
+    h.shard = ObsShard::default();
+    h.rings.clear();
+}
+
+/// The pooled metrics as deterministic JSON.
+pub fn metrics_json() -> String {
+    lock().shard.to_json()
+}
+
+/// A clone of the pooled metrics shard (for in-process assertions).
+pub fn metrics_shard() -> ObsShard {
+    lock().shard.clone()
+}
+
+/// FNV-1a over an event's identifying fields — a content fingerprint
+/// used only to order rings deterministically when seeds collide (equal
+/// seed ⇒ identical replica ⇒ identical hash ⇒ order irrelevant).
+fn ring_hash(events: &[TraceEvent]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for e in events {
+        mix(e.t_ps);
+        mix(u64::from(e.session));
+        mix(e.seq);
+        mix(u64::from(e.node));
+        mix(e.aux_ps as u64);
+    }
+    h
+}
+
+fn sorted_groups() -> Vec<(u64, Vec<TraceEvent>)> {
+    let h = lock();
+    let mut groups: Vec<(u64, Vec<TraceEvent>)> = h
+        .rings
+        .iter()
+        .map(|(seed, ring)| (*seed, ring.events()))
+        .collect();
+    drop(h);
+    groups.sort_by_key(|(seed, events)| (*seed, ring_hash(events)));
+    groups
+}
+
+/// The pooled trace as Chrome `trace_event` JSON, rings ordered by
+/// `(seed, content hash)` so the bytes are thread-count independent.
+pub fn chrome_trace_json() -> String {
+    trace::chrome_trace_json(&sorted_groups())
+}
+
+/// The pooled trace as JSONL, one `{"seed":…, …}` object per event, in
+/// the same deterministic ring order as [`chrome_trace_json`].
+pub fn trace_jsonl() -> String {
+    let groups = sorted_groups();
+    let mut out = String::new();
+    for (seed, events) in &groups {
+        for e in events {
+            let line = trace::jsonl_line(e);
+            out.push_str(&format!("{{\"seed\":{seed},{}\n", &line[1..]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::PacketView;
+    use lit_sim::Time;
+
+    fn run_one(seed: u64, arrivals: u64) {
+        let mut p = match global_probe() {
+            Some(p) => p,
+            None => return,
+        };
+        p.on_build(seed, 1, &[1]);
+        for i in 0..arrivals {
+            p.on_arrive(
+                Time::from_us(i),
+                0,
+                PacketView {
+                    session: 0,
+                    seq: i + 1,
+                    hop: 0,
+                    len_bits: 424,
+                    created: Time::ZERO,
+                    arrived: Time::from_us(i),
+                },
+                0,
+                1,
+            );
+        }
+        p.finish(Time::from_us(arrivals));
+    }
+
+    #[test]
+    fn pooled_export_is_submission_order_independent() {
+        // Serialise against other tests in this binary that touch the
+        // global hub (Rust runs tests in one process).
+        set_global(true, true);
+        set_trace_cap(64);
+
+        reset();
+        run_one(3, 2);
+        run_one(1, 5);
+        let a_metrics = metrics_json();
+        let a_trace = chrome_trace_json();
+        let a_jsonl = trace_jsonl();
+
+        reset();
+        run_one(1, 5);
+        run_one(3, 2);
+        assert_eq!(metrics_json(), a_metrics);
+        assert_eq!(chrome_trace_json(), a_trace);
+        assert_eq!(trace_jsonl(), a_jsonl);
+
+        let shard = metrics_shard();
+        assert_eq!(shard.networks, 2);
+        assert_eq!(shard.nodes[0].arrivals, 7);
+
+        set_global(false, false);
+        reset();
+        assert!(global_probe().is_none());
+        assert!(!enabled());
+    }
+}

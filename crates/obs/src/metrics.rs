@@ -1,0 +1,438 @@
+//! The metrics registry: dense per-node / per-session-per-hop storage
+//! with log₂-scale histograms, sized once when the network is built.
+//!
+//! Everything here is built for two constraints:
+//!
+//! * **hot-path cost** — recording is an array index plus an increment
+//!   (the histogram bin is a `leading_zeros`), never a hash or a string;
+//! * **order-independent pooling** — [`ObsShard::merge`] is commutative
+//!   and associative (counters add, maxima max, bins add), so pooling
+//!   shards from worker threads in completion order yields the same
+//!   bytes as pooling them in any other order.
+//!
+//! All exported quantities are integers (counts, picoseconds, bits):
+//! the JSON is byte-stable across platforms and thread counts, which the
+//! golden-snapshot and thread-determinism tests rely on.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A log₂-scale histogram over `u64` samples: bin 0 counts zeros, bin
+/// `k ≥ 1` counts samples in `[2^(k-1), 2^k)`. 65 bins cover the full
+/// `u64` range, so recording never saturates or clips.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    bins: [u64; 65],
+    count: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            bins: [0; 65],
+            count: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        let bin = if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        };
+        self.bins[bin] += 1;
+        self.count += 1;
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Add another histogram bin-by-bin (counters add, max takes max).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Append the JSON rendering: `{"count":N,"max":M,"bins":[[floor,
+    /// count],...]}` with only non-empty bins, floors ascending.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"max\":{},\"bins\":[",
+            self.count, self.max
+        );
+        let mut first = true;
+        for (k, &c) in self.bins.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let floor: u64 = if k == 0 { 0 } else { 1u64 << (k - 1) };
+            let _ = write!(out, "[{floor},{c}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A histogram over signed samples (deadline slack can be negative when
+/// a packet departs late): magnitudes of negative samples in `neg`,
+/// non-negative samples in `pos`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SignedLogHistogram {
+    /// Non-negative samples (on time or early).
+    pub pos: LogHistogram,
+    /// Magnitudes of negative samples (late).
+    pub neg: LogHistogram,
+}
+
+impl SignedLogHistogram {
+    /// Record one signed sample.
+    #[inline]
+    pub fn record(&mut self, v: i64) {
+        if v < 0 {
+            self.neg.record(v.unsigned_abs());
+        } else {
+            self.pos.record(v as u64);
+        }
+    }
+
+    /// Total samples across both signs.
+    pub fn count(&self) -> u64 {
+        self.pos.count() + self.neg.count()
+    }
+
+    /// Merge another signed histogram.
+    pub fn merge(&mut self, other: &SignedLogHistogram) {
+        self.pos.merge(&other.pos);
+        self.neg.merge(&other.neg);
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"pos\":");
+        self.pos.write_json(out);
+        out.push_str(",\"neg\":");
+        self.neg.write_json(out);
+        out.push('}');
+    }
+}
+
+/// Per-node observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeObs {
+    /// Last-bit packet arrivals at this node.
+    pub arrivals: u64,
+    /// Transmissions started (service starts).
+    pub dispatches: u64,
+    /// Transmissions finished.
+    pub departures: u64,
+    /// Bits transmitted.
+    pub served_bits: u64,
+    /// Eligible-queue depth (packets awaiting service, excluding the one
+    /// in transmission), sampled at every arrival.
+    pub eligible_depth: LogHistogram,
+    /// Deadline slack `F − departure` in picoseconds at every departure
+    /// (`pos` = on time or early, `neg` = late by that much).
+    pub slack_ps: SignedLogHistogram,
+}
+
+impl NodeObs {
+    fn merge(&mut self, other: &NodeObs) {
+        self.arrivals += other.arrivals;
+        self.dispatches += other.dispatches;
+        self.departures += other.departures;
+        self.served_bits += other.served_bits;
+        self.eligible_depth.merge(&other.eligible_depth);
+        self.slack_ps.merge(&other.slack_ps);
+    }
+
+    fn write_json(&self, idx: usize, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"node\":{idx},\"arrivals\":{},\"dispatches\":{},\"departures\":{},\"served_bits\":{},\"eligible_depth\":",
+            self.arrivals, self.dispatches, self.departures, self.served_bits
+        );
+        self.eligible_depth.write_json(out);
+        out.push_str(",\"slack_ps\":");
+        self.slack_ps.write_json(out);
+        out.push('}');
+    }
+}
+
+/// One session's observations at one hop of its route.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HopObs {
+    /// Service starts of this session's packets at this hop.
+    pub dispatches: u64,
+    /// Packets the regulator actually held (`E > arrival`); packets
+    /// eligible on arrival bypass the regulator and are not counted.
+    pub held: u64,
+    /// Regulator holding time `E − arrival` in picoseconds, one sample
+    /// per held packet.
+    pub holding_ps: LogHistogram,
+}
+
+impl HopObs {
+    fn merge(&mut self, other: &HopObs) {
+        self.dispatches += other.dispatches;
+        self.held += other.held;
+        self.holding_ps.merge(&other.holding_ps);
+    }
+
+    fn write_json(&self, hop: usize, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"hop\":{hop},\"dispatches\":{},\"held\":{},\"holding_ps\":",
+            self.dispatches, self.held
+        );
+        self.holding_ps.write_json(out);
+        out.push('}');
+    }
+}
+
+/// Per-session observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionObs {
+    /// Packets delivered past the final hop.
+    pub delivered: u64,
+    /// Bits served across all hops (each transmission counted once per
+    /// hop, matching the "per-session served bits" service share).
+    pub served_bits: u64,
+    /// Per-hop observations along the route.
+    pub hops: Vec<HopObs>,
+}
+
+impl SessionObs {
+    fn merge(&mut self, other: &SessionObs) {
+        self.delivered += other.delivered;
+        self.served_bits += other.served_bits;
+        if self.hops.len() < other.hops.len() {
+            self.hops.resize(other.hops.len(), HopObs::default());
+        }
+        for (a, b) in self.hops.iter_mut().zip(other.hops.iter()) {
+            a.merge(b);
+        }
+    }
+
+    fn write_json(&self, idx: usize, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"session\":{idx},\"delivered\":{},\"served_bits\":{},\"hops\":[",
+            self.delivered, self.served_bits
+        );
+        for (h, hop) in self.hops.iter().enumerate() {
+            if h > 0 {
+                out.push(',');
+            }
+            hop.write_json(h, out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// All metrics of one network run (or the commutative pool of many).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsShard {
+    /// Networks pooled into this shard.
+    pub networks: u64,
+    /// Per-node observations, indexed by node id.
+    pub nodes: Vec<NodeObs>,
+    /// Per-session observations, indexed by session id.
+    pub sessions: Vec<SessionObs>,
+    /// Future-event-set population, sampled at every packet arrival
+    /// (covers both the heap and calendar backends identically).
+    pub event_depth: LogHistogram,
+    /// Conformance-oracle violations by inequality label.
+    pub violations: BTreeMap<String, u64>,
+}
+
+impl ObsShard {
+    /// An empty shard sized for `nodes` nodes and the given per-session
+    /// hop counts.
+    pub fn sized(nodes: usize, session_hops: &[usize]) -> Self {
+        ObsShard {
+            networks: 1,
+            nodes: vec![NodeObs::default(); nodes],
+            sessions: session_hops
+                .iter()
+                .map(|&h| SessionObs {
+                    hops: vec![HopObs::default(); h],
+                    ..SessionObs::default()
+                })
+                .collect(),
+            event_depth: LogHistogram::new(),
+            violations: BTreeMap::new(),
+        }
+    }
+
+    /// Sum of all recorded oracle violations.
+    pub fn violation_total(&self) -> u64 {
+        self.violations.values().sum()
+    }
+
+    /// Pool another shard into this one. Commutative and associative, so
+    /// the pooled result does not depend on worker completion order.
+    pub fn merge(&mut self, other: &ObsShard) {
+        self.networks += other.networks;
+        if self.nodes.len() < other.nodes.len() {
+            self.nodes.resize(other.nodes.len(), NodeObs::default());
+        }
+        for (a, b) in self.nodes.iter_mut().zip(other.nodes.iter()) {
+            a.merge(b);
+        }
+        if self.sessions.len() < other.sessions.len() {
+            self.sessions
+                .resize(other.sessions.len(), SessionObs::default());
+        }
+        for (a, b) in self.sessions.iter_mut().zip(other.sessions.iter()) {
+            a.merge(b);
+        }
+        self.event_depth.merge(&other.event_depth);
+        for (k, v) in &other.violations {
+            *self.violations.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Render the shard as deterministic JSON (integers only; fixed key
+    /// order; `violations` sorted by label).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"lit-obs-metrics-v1\",\n  \"networks\": {},\n  \"event_depth\": ",
+            self.networks
+        );
+        self.event_depth.write_json(&mut out);
+        out.push_str(",\n  \"violations\": {");
+        for (i, (k, v)) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{k}\":{v}");
+        }
+        out.push_str("},\n  \"nodes\": [\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            out.push_str("    ");
+            n.write_json(i, &mut out);
+            out.push_str(if i + 1 < self.nodes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"sessions\": [\n");
+        for (i, s) in self.sessions.iter().enumerate() {
+            out.push_str("    ");
+            s.write_json(i, &mut out);
+            out.push_str(if i + 1 < self.sessions.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_histogram_bins_by_powers_of_two() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max(), u64::MAX);
+        let mut json = String::new();
+        h.write_json(&mut json);
+        // zeros → floor 0; 1 → floor 1; 2,3 → floor 2; 4..8 → floor 4;
+        // 8 → floor 8; MAX → floor 2^63.
+        assert_eq!(
+            json,
+            format!(
+                "{{\"count\":9,\"max\":{},\"bins\":[[0,1],[1,2],[2,2],[4,2],[8,1],[{},1]]}}",
+                u64::MAX,
+                1u64 << 63
+            )
+        );
+    }
+
+    #[test]
+    fn signed_histogram_splits_by_sign() {
+        let mut h = SignedLogHistogram::default();
+        h.record(5);
+        h.record(0);
+        h.record(-3);
+        h.record(i64::MIN);
+        assert_eq!(h.pos.count(), 2);
+        assert_eq!(h.neg.count(), 2);
+        assert_eq!(h.neg.max(), 1u64 << 63);
+    }
+
+    #[test]
+    fn shard_merge_is_commutative() {
+        let mut a = ObsShard::sized(2, &[1, 3]);
+        a.nodes[0].arrivals = 5;
+        a.nodes[1].eligible_depth.record(7);
+        a.sessions[1].hops[2].held = 2;
+        a.sessions[1].hops[2].holding_ps.record(1000);
+        a.event_depth.record(3);
+        a.violations.insert("delay-bound (ineq. 12/15)".into(), 1);
+
+        let mut b = ObsShard::sized(3, &[2]);
+        b.nodes[2].dispatches = 9;
+        b.sessions[0].delivered = 4;
+        b.violations.insert("delay-bound (ineq. 12/15)".into(), 2);
+        b.violations.insert("lateness (non-saturation)".into(), 1);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.networks, 2);
+        assert_eq!(ab.violation_total(), 4);
+        assert_eq!(ab.nodes.len(), 3);
+        assert_eq!(ab.sessions.len(), 2);
+        assert_eq!(ab.sessions[1].hops[2].held, 2);
+    }
+
+    #[test]
+    fn shard_json_is_deterministic() {
+        let mut s = ObsShard::sized(1, &[2]);
+        s.nodes[0].slack_ps.record(-500);
+        s.nodes[0].slack_ps.record(12_000);
+        assert_eq!(s.to_json(), s.clone().to_json());
+        assert!(s.to_json().contains("\"schema\": \"lit-obs-metrics-v1\""));
+    }
+}

@@ -250,9 +250,17 @@ pub fn finish_lit(b: NetworkBuilder) -> Network {
 /// [`finish_lit`] with an explicit factory — for call sites that already
 /// hold a Leave-in-Time factory by another name. The oracle's invariants
 /// are LiT's; do not use this with baseline disciplines.
+///
+/// Also attaches the process-global observability probe when the CLI's
+/// `--metrics` / `--trace` flags armed `lit_obs::hub` — every replica of
+/// every experiment then submits its shard and trace ring to the hub.
 pub fn finish_with_oracle(b: NetworkBuilder, factory: &DisciplineFactory<'_>) -> Network {
     let mode = lit_net::oracle::global_mode();
-    let mut net = b.oracle(OracleConfig::new(mode)).build(factory);
+    let mut b = b.oracle(OracleConfig::new(mode));
+    if let Some(p) = lit_obs::hub::global_probe() {
+        b = b.probe(p);
+    }
+    let mut net = b.build(factory);
     if mode != OracleMode::Off {
         install_oracle_bounds(&mut net);
     }

@@ -19,10 +19,15 @@
 
 use crate::scenario::{RunOptions, Scenario, SessionLine, SourceSpec};
 use lit_net::{
-    DeliveryRecord, EventBackend, LinkParams, Network, OracleMode, SessionId, StatsConfig,
+    DeliveryRecord, EventBackend, LinkParams, Network, ObsProbe, OracleMode, SessionId, StatsConfig,
 };
+use lit_obs::TraceEvent;
 use lit_sim::{Duration, SimRng};
 use std::path::{Path, PathBuf};
+
+/// How many trailing lifecycle events each arm contributes to a
+/// divergence bundle.
+const BUNDLE_TAIL: usize = 50;
 
 /// Reserved rates stay below this fraction of link capacity in every
 /// generated case, so each node is admission-valid (`Σ r ≤ C`) with slack
@@ -212,6 +217,59 @@ pub fn write_failure(dir: &Path, seed: u64, why: &str, sc: &Scenario) -> PathBuf
     path
 }
 
+/// Re-run the three differential arms of `sc` with a local tracing probe
+/// and return each arm's trailing `BUNDLE_TAIL` (50) lifecycle events. Used
+/// only on failures, so the extra runs cost nothing on the hot path.
+pub fn trace_arms(sc: &Scenario) -> Vec<(String, Vec<TraceEvent>)> {
+    let stats = Some(fuzz_stats());
+    let mut arms: Vec<(String, Scenario, EventBackend)> = vec![
+        ("lit-heap".into(), sc.clone(), EventBackend::Heap),
+        ("lit-calendar".into(), sc.clone(), EventBackend::Calendar),
+    ];
+    if let Ok(vc) = sc.with_discipline("virtualclock") {
+        arms.push(("vc-heap".into(), vc, EventBackend::Heap));
+    }
+    arms.into_iter()
+        .map(|(label, arm, backend)| {
+            let (mut net, _) = arm.run_probed(
+                &RunOptions {
+                    backend: Some(backend),
+                    stats,
+                    oracle: OracleMode::Off,
+                },
+                Some(Box::new(ObsProbe::new(BUNDLE_TAIL))),
+            );
+            let tail = net
+                .take_probe()
+                .and_then(|p| {
+                    p.as_any()
+                        .and_then(|a| a.downcast_ref::<ObsProbe>())
+                        .map(|o| o.trace.last_n(BUNDLE_TAIL))
+                })
+                .unwrap_or_default();
+            (label, tail)
+        })
+        .collect()
+}
+
+/// Write the per-arm trace tails of a divergence next to its `.scn` file
+/// as JSONL, one event per line with a leading `"arm"` field. Returns the
+/// path (best-effort, like [`write_failure`]).
+pub fn write_trace_bundle(dir: &Path, seed: u64, arms: &[(String, Vec<TraceEvent>)]) -> PathBuf {
+    let path = dir.join(format!("case_{seed:016x}.trace.jsonl"));
+    let mut body = String::new();
+    for (label, events) in arms {
+        for e in events {
+            body.push_str(&lit_obs::trace::jsonl_line_tagged(label, e));
+            body.push('\n');
+        }
+    }
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+        eprintln!("fuzz: cannot write {}: {e}", path.display());
+    }
+    path
+}
+
 /// A campaign's outcome.
 #[derive(Debug)]
 pub struct FuzzReport {
@@ -245,7 +303,9 @@ pub fn campaign(
         if let Err(why) = check(&sc) {
             eprintln!("fuzz: case {case} (seed {seed:#018x}) FAILED: {why}");
             let min = shrink(sc);
-            failures.push((seed, why.clone(), write_failure(out_dir, seed, &why, &min)));
+            let path = write_failure(out_dir, seed, &why, &min);
+            write_trace_bundle(out_dir, seed, &trace_arms(&min));
+            failures.push((seed, why.clone(), path));
         }
         ran += 1;
         if ran % 100 == 0 {
@@ -291,6 +351,54 @@ mod tests {
     fn one_case_runs_clean() {
         let sc = generate(case_seed(1, 0));
         check(&sc).unwrap();
+    }
+
+    #[test]
+    fn forced_divergence_writes_trace_bundle() {
+        // Jitter control breaks the LiT ≡ VirtualClock premise: with two
+        // hops, LiT holds ahead-of-schedule packets at the second node
+        // while VirtualClock forwards them immediately.
+        let sc = Scenario {
+            nodes: 2,
+            link: LinkParams::paper_t1(),
+            discipline: crate::scenario::DisciplineChoice::Lit,
+            queue: lit_net::QueueKind::Exact,
+            backend: EventBackend::Heap,
+            seed: 7,
+            sessions: vec![SessionLine {
+                first: 0,
+                last: 1,
+                rate: 64_000,
+                jc: true,
+                d: None,
+                shape: None,
+                source: SourceSpec::Cbr {
+                    gap: Duration::from_ms(10),
+                    len: 424,
+                    offset: Duration::from_ns(0),
+                },
+            }],
+            horizon: Duration::from_ms(200),
+        };
+        let why = check(&sc).expect_err("jc session must diverge from VirtualClock");
+        assert!(why.contains("virtualclock"), "unexpected failure: {why}");
+        let arms = trace_arms(&sc);
+        assert_eq!(arms.len(), 3, "all three arms traced");
+        assert!(arms.iter().all(|(_, evs)| !evs.is_empty()));
+        let dir = std::env::temp_dir().join(format!("lit_fuzz_bundle_{}", std::process::id()));
+        let path = write_trace_bundle(&dir, 0xDEAD, &arms);
+        let body = std::fs::read_to_string(&path).expect("bundle written");
+        let mut arms_seen = std::collections::BTreeSet::new();
+        for line in body.lines() {
+            let v = lit_obs::json::Value::parse(line)
+                .unwrap_or_else(|e| panic!("bundle line does not parse ({e}): {line}"));
+            let arm = v.get("arm").and_then(|a| a.as_str()).expect("arm tag");
+            arms_seen.insert(arm.to_string());
+            assert!(v.get("k").is_some(), "event kind present: {line}");
+            assert!(v.get("t_ps").is_some(), "timestamp present: {line}");
+        }
+        assert_eq!(arms_seen.len(), 3, "every arm contributes events");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,12 +40,17 @@ struct Args {
     out: PathBuf,
     command: String,
     extra: Vec<String>,
+    /// `--metrics FILE`: write the pooled observability metrics JSON here.
+    metrics: Option<PathBuf>,
+    /// `--trace FILE`: write the pooled packet-lifecycle trace here
+    /// (Chrome `trace_event` JSON; `.jsonl` extension selects JSONL).
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] \
-         [--oracle off|count|panic] \
+         [--oracle off|count|panic] [--metrics FILE] [--trace FILE] \
          <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>"
     );
     std::process::exit(2);
@@ -60,6 +65,8 @@ fn parse_args() -> Args {
     let mut out = PathBuf::from("results");
     let mut command = None;
     let mut extra = Vec::new();
+    let mut metrics = None;
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
@@ -74,6 +81,8 @@ fn parse_args() -> Args {
             "--threads" => threads = Some(num(&mut it).max(1) as usize),
             "--replicas" => replicas = Some(num(&mut it).max(1) as u32),
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--metrics" => metrics = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--trace" => trace = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--oracle" => {
                 let mode = it
                     .next()
@@ -105,11 +114,44 @@ fn parse_args() -> Args {
     if let Some(r) = replicas {
         cfg.replicas = r;
     }
+    // Arm the global observability hub before anything builds a network.
+    lit_obs::hub::set_global(metrics.is_some() || trace.is_some(), trace.is_some());
     Args {
         cfg,
         out,
         command: command.unwrap_or_else(|| usage()),
         extra,
+        metrics,
+        trace,
+    }
+}
+
+/// After the run: flush the pooled observability output to the paths the
+/// `--metrics` / `--trace` flags named. Both exports are deterministic
+/// for a given seed and workload, independent of `--threads`.
+fn write_obs(args: &Args) {
+    if let Some(path) = &args.metrics {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(path, lit_obs::hub::metrics_json()) {
+            Ok(()) => eprintln!("[metrics] {}", path.display()),
+            Err(e) => eprintln!("[metrics] failed to write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &args.trace {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let body = if path.extension().is_some_and(|e| e == "jsonl") {
+            lit_obs::hub::trace_jsonl()
+        } else {
+            lit_obs::hub::chrome_trace_json()
+        };
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!("[trace] {}", path.display()),
+            Err(e) => eprintln!("[trace] failed to write {}: {e}", path.display()),
+        }
     }
 }
 
@@ -249,6 +291,7 @@ fn main() -> ExitCode {
         return match Scenario::parse(&text) {
             Ok(sc) => {
                 emit(&args.out, "scenario", &sc.run_report());
+                write_obs(&args);
                 oracle_verdict()
             }
             Err(e) => {
@@ -273,6 +316,7 @@ fn main() -> ExitCode {
         args.cfg.replicas.max(1),
     );
     if run_command(&args.command, &args.cfg, &args.out) {
+        write_obs(&args);
         oracle_verdict()
     } else {
         usage()

@@ -467,8 +467,21 @@ impl Scenario {
     }
 
     /// [`Scenario::run`] with explicit overrides — the differential
-    /// fuzzer's entry point.
+    /// fuzzer's entry point. Attaches the process-global observability
+    /// probe when `lit_obs::hub` collection is on (the CLI's `--metrics`
+    /// / `--trace` flags).
     pub fn run_opts(&self, opts: &RunOptions) -> (Network, Vec<SessionId>) {
+        self.run_probed(opts, lit_obs::hub::global_probe())
+    }
+
+    /// [`Scenario::run_opts`] with an explicit probe (or none) — tests
+    /// install a local [`lit_net::ObsProbe`] here and read it back with
+    /// `Network::take_probe`, without touching process-global state.
+    pub fn run_probed(
+        &self,
+        opts: &RunOptions,
+        probe: Option<Box<dyn lit_net::Probe>>,
+    ) -> (Network, Vec<SessionId>) {
         let mut b = NetworkBuilder::new()
             .seed(self.seed)
             .queue_kind(self.queue)
@@ -482,6 +495,9 @@ impl Scenario {
             OracleMode::Off
         };
         b = b.oracle(OracleConfig::new(oracle));
+        if let Some(p) = probe {
+            b = b.probe(p);
+        }
         if let Some(stats) = opts.stats {
             b = b.stats(stats);
         }
@@ -561,6 +577,15 @@ impl Scenario {
             discipline: parse_discipline(name)?,
             ..self.clone()
         })
+    }
+
+    /// The same scenario with a different run horizon (snapshot tests
+    /// shorten the committed scenarios to keep golden runs fast).
+    pub fn with_horizon(&self, horizon: Duration) -> Scenario {
+        Scenario {
+            horizon,
+            ..self.clone()
+        }
     }
 
     /// Serialize back to scenario text. `parse(to_text(sc)) == sc` for

@@ -15,7 +15,9 @@
 //! * [`core`] — the paper's contribution: the Leave-in-Time discipline,
 //!   delay regulators, admission control, and analytic service bounds;
 //! * [`baselines`] — FCFS, VirtualClock, WFQ, SCFQ, Stop-and-Go;
-//! * [`analysis`] — M/D/1 delay distribution, histograms, CCDFs.
+//! * [`analysis`] — M/D/1 delay distribution, histograms, CCDFs;
+//! * [`obs`] — zero-cost-when-off observability: metrics registry,
+//!   packet-lifecycle tracer, Chrome `trace_event` export.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +25,7 @@ pub use lit_analysis as analysis;
 pub use lit_baselines as baselines;
 pub use lit_core as core;
 pub use lit_net as net;
+pub use lit_obs as obs;
 pub use lit_sim as sim;
 pub use lit_traffic as traffic;
 

@@ -1,0 +1,92 @@
+//! Golden snapshots of the observability exports: the committed
+//! scenarios run with a local recording probe, and the metrics JSON plus
+//! the head/tail of the trace are compared byte-for-byte against files
+//! under `tests/golden/`. Any change to what the probes record, how the
+//! histograms bin, or how the exporters serialize shows up as a golden
+//! diff that has to be reviewed and regenerated deliberately:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test obs_snapshot
+//! ```
+
+use lit_obs::{trace, ObsProbe};
+use lit_repro::scenario::{RunOptions, Scenario};
+use lit_sim::Duration;
+use std::path::PathBuf;
+
+/// Trace events kept verbatim at each end of the snapshot.
+const SNAP_EVENTS: usize = 20;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Run one committed scenario (horizon shortened to keep the test fast)
+/// with a local tracing probe and render the snapshot text: the full
+/// metrics JSON, then the first and last `SNAP_EVENTS` trace lines.
+fn snapshot(scn: &str) -> String {
+    let text = std::fs::read_to_string(repo_path(&format!("scenarios/{scn}")))
+        .unwrap_or_else(|e| panic!("read scenarios/{scn}: {e}"));
+    let sc = Scenario::parse(&text)
+        .unwrap_or_else(|e| panic!("parse scenarios/{scn}: {e:?}"))
+        .with_horizon(Duration::from_ms(2_000));
+    let (mut net, _ids) =
+        sc.run_probed(&RunOptions::default(), Some(Box::new(ObsProbe::new(4096))));
+    let probe = net.take_probe().expect("probe installed");
+    let obs = probe
+        .as_any()
+        .and_then(|a| a.downcast_ref::<ObsProbe>())
+        .expect("probe downcasts to ObsProbe");
+
+    let mut out = String::new();
+    out.push_str(&obs.shard.to_json());
+    out.push('\n');
+    out.push_str(&format!(
+        "## trace: {} events total, first {SNAP_EVENTS}\n",
+        obs.trace.total()
+    ));
+    for e in obs.trace.first_n(SNAP_EVENTS) {
+        out.push_str(&trace::jsonl_line(&e));
+        out.push('\n');
+    }
+    out.push_str(&format!("## trace: last {SNAP_EVENTS}\n"));
+    for e in obs.trace.last_n(SNAP_EVENTS) {
+        out.push_str(&trace::jsonl_line(&e));
+        out.push('\n');
+    }
+    out
+}
+
+fn check_golden(scn: &str, golden: &str) {
+    let got = snapshot(scn);
+    // The exports must be a pure function of the scenario: two runs in
+    // the same process yield the same bytes before we ever diff goldens.
+    assert_eq!(got, snapshot(scn), "{scn}: snapshot not deterministic");
+
+    let path = repo_path(&format!("tests/golden/{golden}"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}; run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got, want,
+        "{scn}: observability snapshot drifted from tests/golden/{golden}; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn fig8_cross_obs_snapshot_matches_golden() {
+    check_golden("fig8_cross.scn", "fig8_cross.obs.txt");
+}
+
+#[test]
+fn misbehaver_obs_snapshot_matches_golden() {
+    check_golden("misbehaver.scn", "misbehaver.obs.txt");
+}

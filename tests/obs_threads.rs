@@ -1,0 +1,53 @@
+//! Thread-count determinism for the *pooled* observability exports.
+//!
+//! `tests/threads_determinism.rs` pins the experiment tables; this
+//! binary pins the observability side: with the global hub armed, a
+//! pooled-replica experiment must export byte-identical metrics JSON,
+//! Chrome trace JSON, and trace JSONL for any `--threads` value. The hub
+//! is process-global state, so this stays a single `#[test]` in its own
+//! integration-test binary — nothing else can race the flags.
+
+use lit_repro::experiments::{fig8, RunConfig};
+
+fn run_pooled(threads: usize) -> (String, String, String) {
+    lit_obs::hub::reset();
+    let cfg = RunConfig {
+        seconds: Some(6),
+        seed: 7,
+        threads: Some(threads),
+        replicas: 4,
+    };
+    let _ = fig8::run(&cfg);
+    (
+        lit_obs::hub::metrics_json(),
+        lit_obs::hub::chrome_trace_json(),
+        lit_obs::hub::trace_jsonl(),
+    )
+}
+
+#[test]
+fn pooled_obs_exports_identical_across_thread_counts() {
+    lit_obs::hub::set_global(true, true);
+    lit_obs::hub::set_trace_cap(256);
+
+    let (m1, c1, j1) = run_pooled(1);
+    let (m4, c4, j4) = run_pooled(4);
+
+    lit_obs::hub::set_global(false, false);
+    lit_obs::hub::reset();
+
+    // Sanity: the hub actually collected something before we compare.
+    assert!(m1.contains("\"networks\""), "metrics export empty");
+    let nets: u64 = lit_obs::json::Value::parse(&m1)
+        .ok()
+        .and_then(|v| v.get("networks").and_then(|n| n.as_f64()))
+        .map(|n| n as u64)
+        .unwrap_or(0);
+    assert!(nets > 0, "no replica submitted a shard to the hub");
+    assert!(c1.contains("traceEvents"), "chrome trace export empty");
+    assert!(!j1.is_empty(), "jsonl trace export empty");
+
+    assert_eq!(m1, m4, "pooled metrics JSON depends on thread count");
+    assert_eq!(c1, c4, "pooled Chrome trace depends on thread count");
+    assert_eq!(j1, j4, "pooled trace JSONL depends on thread count");
+}

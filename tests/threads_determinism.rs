@@ -72,3 +72,46 @@ fn replica_seeds_are_stable_and_distinct() {
         (0..16).map(|r| replica_seed(7, r)).collect::<Vec<_>>()
     );
 }
+
+#[test]
+fn obs_shard_pooling_is_merge_order_independent() {
+    // The hub pools worker shards in completion order, which varies with
+    // the thread count; the exported bytes must not. Build three distinct
+    // shards and pool them in opposite orders.
+    use lit_obs::metrics::ObsShard;
+    use lit_obs::{PacketView, Probe};
+    use lit_sim::{Duration, Time};
+
+    let mk = |seed: u64, n: u64| -> ObsShard {
+        let mut p = lit_obs::ObsProbe::new(0);
+        p.on_build(seed, 2, &[2]);
+        for i in 0..n {
+            let v = PacketView {
+                session: 0,
+                seq: i + 1,
+                hop: 0,
+                len_bits: 424,
+                created: Time::ZERO,
+                arrived: Time::from_us(i),
+            };
+            p.on_arrive(Time::from_us(i), 0, v, i as usize, 2 * i as usize);
+            p.on_eligible(Time::from_us(i + 1), 0, v, Duration::from_us(seed));
+            p.on_dispatch(Time::from_us(i + 1), 0, v);
+            p.on_depart(Time::from_us(i + 2), 0, v, i as i64 - 3, false);
+        }
+        p.shard
+    };
+
+    let parts = [mk(1, 3), mk(2, 7), mk(5, 11)];
+    let mut fwd = ObsShard::default();
+    let mut rev = ObsShard::default();
+    for s in parts.iter() {
+        fwd.merge(s);
+    }
+    for s in parts.iter().rev() {
+        rev.merge(s);
+    }
+    assert_eq!(fwd.to_json(), rev.to_json());
+    assert_eq!(fwd.networks, 3);
+    assert_eq!(fwd.nodes[0].arrivals, 21);
+}
