@@ -11,7 +11,7 @@
 //!   simulation output (autocorrelation-robust).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod batch;
 mod hist;

@@ -86,6 +86,7 @@ impl HrrDiscipline {
 
     /// Frame index containing `t`.
     fn frame_of(&self, t: Time) -> u64 {
+        // lit-lint: allow(raw-time-arithmetic, "dimensionless frame index: ratio of two ps counts; division cannot overflow")
         t.as_ps() / self.frame.as_ps()
     }
 
@@ -138,7 +139,7 @@ impl Discipline for HrrDiscipline {
             s.used = 0;
         }
         s.used += 1;
-        let eligible = Time::from_ps(s.frame * frame_ps);
+        let eligible = Time::ZERO + Duration::from_ps(frame_ps) * s.frame;
         pkt.deadline = eligible + frame_len; // must clear within its frame
         ScheduleDecision {
             eligible,

@@ -25,7 +25,7 @@
 //! paper's equivalence and comparison claims.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod edd;
 mod fcfs;

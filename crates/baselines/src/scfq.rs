@@ -81,6 +81,7 @@ impl Discipline for ScfqDiscipline {
         // The tag rides in the packet's scratch deadline field (virtual
         // seconds mapped onto the Time axis) so the service-start hook can
         // read it back.
+        // lit-lint: allow(raw-time-arithmetic, "SCFQ's virtual clock is a float by definition; it is mapped onto the Time axis only to ride the packet's deadline field")
         pkt.deadline = Time::ZERO + lit_sim::Duration::from_secs_f64(f);
         ScheduleDecision {
             eligible: now,

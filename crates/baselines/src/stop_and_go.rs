@@ -42,9 +42,9 @@ impl StopAndGoDiscipline {
 
     /// Start of the frame *after* the one containing `t`.
     fn next_frame_start(&self, t: Time) -> Time {
-        let f = self.frame.as_ps();
-        let k = t.as_ps() / f;
-        Time::from_ps((k + 1) * f)
+        // lit-lint: allow(raw-time-arithmetic, "dimensionless frame index: ratio of two ps counts; division cannot overflow")
+        let k = t.as_ps() / self.frame.as_ps();
+        Time::ZERO + self.frame * (k + 1)
     }
 }
 

@@ -1,5 +1,7 @@
 //! Network-level behaviour of the EDD and RCSP baselines.
 
+#![forbid(unsafe_code)]
+
 use lit_baselines::{EddAdmission, EddDiscipline, RcspDiscipline};
 use lit_net::{DelayAssignment, LinkParams, NetworkBuilder, NodeId, SessionId, SessionSpec};
 use lit_sim::{Duration, Time};

@@ -5,6 +5,8 @@
 //! * AC3 tests `2^(n)` subsets for the n-th admission — the exponential
 //!   blow-up §2 warns about is plainly visible in the timings.
 
+#![forbid(unsafe_code)]
+
 use lit_bench::Bencher;
 use lit_core::{Ac3Admission, ClassedAdmission, DRule, DelayClass, Procedure, SessionRequest};
 use lit_sim::Duration;

@@ -2,6 +2,8 @@
 //! as used to draw the Figures 9–11 bound curves) and the streaming
 //! histogram (per-sample cost paid for every delivered packet).
 
+#![forbid(unsafe_code)]
+
 use lit_analysis::{DurationHistogram, Md1};
 use lit_bench::Bencher;
 use lit_sim::Duration;

@@ -6,6 +6,8 @@
 //! network) and runs 2 simulated seconds — roughly 120 000 packet
 //! transmissions across the five links.
 
+#![forbid(unsafe_code)]
+
 use lit_baselines::{FcfsDiscipline, WfqDiscipline};
 use lit_bench::Bencher;
 use lit_core::LitDiscipline;

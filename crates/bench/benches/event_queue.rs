@@ -12,6 +12,8 @@
 //! expected to hold a ≥ 2× advantage there (see `results/BENCH_queues.json`
 //! written by the `bench_queues` binary for the tracked numbers).
 
+#![forbid(unsafe_code)]
+
 use lit_bench::Bencher;
 use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
 

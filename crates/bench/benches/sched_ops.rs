@@ -7,6 +7,8 @@
 //! efficiency claim), while WFQ pays for advancing the GPS virtual time
 //! across the backlogged set.
 
+#![forbid(unsafe_code)]
+
 use lit_baselines::{
     FcfsDiscipline, ScfqDiscipline, StopAndGoDiscipline, VirtualClockDiscipline, WfqDiscipline,
 };

@@ -13,6 +13,8 @@
 //! Usage: `bench_queues [--ops N] [--out DIR]` (defaults: 2 000 000 ops
 //! per measurement at 1e4+, scaled down at 1e2; `results/`).
 
+#![forbid(unsafe_code)]
+
 use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
 use std::hint::black_box;
 use std::path::PathBuf;
@@ -32,13 +34,19 @@ fn hold_ns_per_op(backend: EventBackend, n: usize, ops: u64) -> f64 {
     for _ in 0..(n as u64).min(ops / 10).max(1_000) {
         let (t, e) = q.pop().expect("steady state");
         now = t;
-        q.push(now + Duration::from_ns(1 + rng.below(1_000_000)), e);
+        q.push(
+            now + Duration::from_ns(1) + Duration::from_ns(rng.below(1_000_000)),
+            e,
+        );
     }
     let started = Instant::now();
     for _ in 0..ops {
         let (t, e) = q.pop().expect("steady state");
         now = t;
-        q.push(now + Duration::from_ns(1 + rng.below(1_000_000)), e);
+        q.push(
+            now + Duration::from_ns(1) + Duration::from_ns(rng.below(1_000_000)),
+            e,
+        );
         black_box(e);
     }
     started.elapsed().as_nanos() as f64 / ops as f64

@@ -13,6 +13,8 @@
 //! `results/diff_failures`) as replayable `.scn` files; exits nonzero if
 //! any case failed.
 
+#![forbid(unsafe_code)]
+
 use lit_repro::fuzz;
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -17,6 +17,8 @@
 //! Usage: `obs_overhead [--test|--quick] [--reps N] [--out DIR]
 //! [--baseline FILE] [--write-baseline] [--tol-off F] [--tol-on F]`
 
+#![forbid(unsafe_code)]
+
 use lit_net::{ObsProbe, OracleMode};
 use lit_repro::scenario::{RunOptions, Scenario};
 use lit_sim::Duration;

@@ -16,6 +16,8 @@
 //! Usage: `trace_check FILE.trace.json` — exits 0 on a valid trace,
 //! 1 with a diagnostic otherwise.
 
+#![forbid(unsafe_code)]
+
 use lit_obs::json::Value;
 
 fn fail(msg: &str) -> ! {

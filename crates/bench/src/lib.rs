@@ -18,9 +18,10 @@
 //! Helpers shared by the bench targets live here too.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, SessionId, SessionSpec};
-use lit_sim::Time;
+use lit_sim::{Duration, Time};
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
@@ -43,11 +44,12 @@ pub fn drive_discipline(d: &mut dyn Discipline, sessions: u32, packets: u64) -> 
     let link = LinkParams::paper_t1();
     for i in 0..packets {
         let sid = SessionId((i % u64::from(sessions)) as u32);
-        let now = Time::from_us(i * 50);
+        let now = Time::ZERO + Duration::from_us(50) * i;
         let mut pkt = Packet::new(sid, i / u64::from(sessions) + 1, 424, now);
         let dec = d.on_arrival(&mut pkt, now);
         sum ^= dec.key;
         d.on_departure(&mut pkt, now.max(dec.eligible) + link.lmax_time());
+        // lit-lint: allow(checked-clock-ops, "u128 checksum accumulator defeating dead-code elimination; wrap-around is mixing, not clock math")
         sum = sum.wrapping_add(pkt.hold.as_ps() as u128);
     }
     sum

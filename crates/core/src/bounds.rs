@@ -154,7 +154,8 @@ impl PathBounds {
     /// reference-server delay bound `D^ref_max`.
     pub fn delay_bound(&self, dref_max: Duration) -> Duration {
         let ps = dref_max.as_ps() as i128 + self.shift_ps();
-        Duration::from_ps(ps.max(0) as u64)
+        let ps = u64::try_from(ps.max(0)).expect("delay bound fits u64 ps");
+        Duration::from_ps(ps)
     }
 
     /// Ineq. (15): the delay bound for a session conforming to a token
@@ -177,7 +178,8 @@ impl PathBounds {
             self.delta_sum(n).as_ps() as i128 - self.d_max(n - 1).as_ps() as i128
         };
         let ps = dref_max.as_ps() as i128 + spread_ps + self.alpha_ps();
-        Duration::from_ps(ps.max(0) as u64)
+        let ps = u64::try_from(ps.max(0)).expect("jitter bound fits u64 ps");
+        Duration::from_ps(ps)
     }
 
     /// Upper bound on the buffer space (bits) the session can occupy at
@@ -268,7 +270,8 @@ impl PathBounds {
             // negative delay, where P(D^ref > x) = 1.
             1.0
         } else {
-            ref_ccdf(Duration::from_ps(arg_ps as u64))
+            let ps = u64::try_from(arg_ps).expect("CCDF argument fits u64 ps");
+            ref_ccdf(Duration::from_ps(ps))
         }
     }
 }

@@ -22,7 +22,7 @@
 //! token-bucket delay bound equals the PGPS/WFQ bound.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod admission;
 mod bounds;

@@ -1,6 +1,8 @@
 //! Property tests: the admission-control procedures keep their invariants
 //! under arbitrary admit/release interleavings.
 
+#![forbid(unsafe_code)]
+
 use lit_core::{ClassedAdmission, ConnectionManager, DRule, DelayClass, Procedure, SessionRequest};
 use lit_net::DelayAssignment;
 use lit_prop::{check, Gen};

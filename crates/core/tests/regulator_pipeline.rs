@@ -36,6 +36,8 @@
 //! waited 0 ms, packet 1 waited 0 ms, but their deadlines diverged from
 //! real time differently) is fully reconstructed.
 
+#![forbid(unsafe_code)]
+
 use lit_core::LitDiscipline;
 use lit_net::{LinkParams, NetworkBuilder, SessionId, SessionSpec};
 use lit_sim::{Duration, Time};

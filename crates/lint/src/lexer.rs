@@ -1,0 +1,555 @@
+//! A small Rust lexer: just enough token structure for the lint rules.
+//!
+//! This is deliberately *not* a parser. The rules in this crate are
+//! token-pattern checks (adjacency, balanced-delimiter walks, per-segment
+//! marker scans), so all the lexer must get right is the token
+//! *boundaries*: comments (line, nested block), string/char literals
+//! (including raw strings and byte strings), lifetimes vs. char literals,
+//! and numeric literals with their float-ness. Everything else is an
+//! identifier or a one-character punctuation token.
+//!
+//! The container this workspace builds in is fully offline with zero
+//! external crates, so `syn`/`proc-macro2` are not options; a hand-rolled
+//! lexer is the sound subset we can own outright.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `fn`, `unwrap`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF_u64`).
+    Int,
+    /// Float literal (`1.5`, `1e9`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation character (`+`, `[`, `.`); multi-character
+    /// operators arrive as consecutive single-char tokens.
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// A `//` line comment (doc comments included), with its position. Block
+/// comments are skipped entirely: the allow-annotation grammar is
+/// line-comment only, which keeps "where does this annotation point"
+/// unambiguous.
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// Comment text including the leading `//`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column of the first `/`.
+    pub col: u32,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. The lexer never fails: malformed input (an unterminated
+/// string, say) simply consumes to end of file, which is good enough for a
+/// lint pass that only runs over code `rustc` already accepted.
+pub fn lex(src: &str) -> LexOut {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = LexOut::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.comments.push(LineComment { text, line, col });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(), cur.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            continue;
+        }
+        // Raw / byte strings: r"…", r#"…"#, br"…", b"…".
+        if (c == 'r' || c == 'b') && looks_like_string_prefix(&cur) {
+            let tok = lex_prefixed_string(&mut cur, line, col);
+            out.toks.push(tok);
+            continue;
+        }
+        if c == 'b' && cur.peek_at(1) == Some('\'') {
+            cur.bump(); // consume the b; the quote path below takes over.
+            let mut tok = lex_quote(&mut cur, line, col);
+            tok.text.insert(0, 'b');
+            out.toks.push(tok);
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            out.toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let tok = lex_number(&mut cur, line, col);
+            out.toks.push(tok);
+            continue;
+        }
+        if c == '"' {
+            let tok = lex_dquote(&mut cur, line, col);
+            out.toks.push(tok);
+            continue;
+        }
+        if c == '\'' {
+            let tok = lex_quote(&mut cur, line, col);
+            out.toks.push(tok);
+            continue;
+        }
+        // Everything else: one punctuation character per token.
+        cur.bump();
+        out.toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// At an `r` or `b`: does a raw/byte *string* start here (`r"`, `r#`,
+/// `br"`, `br#`, `b"`)? `b'x'` is handled separately as a byte char.
+fn looks_like_string_prefix(cur: &Cursor) -> bool {
+    let c0 = cur.peek();
+    let c1 = cur.peek_at(1);
+    let c2 = cur.peek_at(2);
+    match c0 {
+        Some('r') => matches!(c1, Some('"') | Some('#')),
+        Some('b') => match c1 {
+            Some('"') => true,
+            Some('r') => matches!(c2, Some('"') | Some('#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn lex_prefixed_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut raw = false;
+    // Consume the prefix letters (`r`, `b`, or `br`).
+    while let Some(c) = cur.peek() {
+        if c == 'r' || c == 'b' {
+            raw |= c == 'r';
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            text.push('#');
+            cur.bump();
+        }
+        if cur.peek() == Some('"') {
+            text.push('"');
+            cur.bump();
+            // Scan to `"` followed by `hashes` hash marks.
+            loop {
+                match cur.peek() {
+                    None => break,
+                    Some('"') => {
+                        let closes = (1..=hashes).all(|k| cur.peek_at(k) == Some('#'));
+                        text.push('"');
+                        cur.bump();
+                        if closes {
+                            for _ in 0..hashes {
+                                text.push('#');
+                                cur.bump();
+                            }
+                            break;
+                        }
+                    }
+                    Some(c) => {
+                        text.push(c);
+                        cur.bump();
+                    }
+                }
+            }
+        }
+        return Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+            col,
+        };
+    }
+    // Non-raw byte string: b"…" with escapes.
+    let inner = lex_dquote(cur, line, col);
+    text.push_str(&inner.text);
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+fn lex_dquote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push('"');
+    cur.bump();
+    while let Some(c) = cur.peek() {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            continue;
+        }
+        text.push(c);
+        cur.bump();
+        if c == '"' {
+            break;
+        }
+    }
+    Tok {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    }
+}
+
+/// At a `'`: either a char literal (`'a'`, `'\n'`) or a lifetime (`'a`).
+fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    text.push('\'');
+    cur.bump();
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume through the closing quote.
+            text.push('\\');
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                text.push(c);
+                if c == '\'' {
+                    break;
+                }
+            }
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if cur.peek_at(1) == Some('\'') => {
+            // 'x'
+            text.push(c);
+            cur.bump();
+            text.push('\'');
+            cur.bump();
+            Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        _ => {
+            // Lifetime: consume identifier characters.
+            while let Some(c) = cur.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            }
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
+    let mut text = String::new();
+    let mut float = false;
+    let radix_prefixed = cur.peek() == Some('0')
+        && matches!(
+            cur.peek_at(1),
+            Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+        );
+    if radix_prefixed {
+        // 0x / 0o / 0b: digits, underscores and any suffix letters; no
+        // float forms exist in these radices.
+        while let Some(c) = cur.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Tok {
+            kind: TokKind::Int,
+            text,
+            line,
+            col,
+        };
+    }
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // Fractional part: `.` followed by a digit (so `x.0` tuple access and
+    // `1.max(2)` method calls stay out).
+    if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+        float = true;
+        text.push('.');
+        cur.bump();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    }
+    // Exponent: e / E with optional sign and at least one digit.
+    if matches!(cur.peek(), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek_at(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek_at(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            float = true;
+            text.push(cur.bump().unwrap_or('e'));
+            if sign {
+                text.push(cur.bump().unwrap_or('+'));
+            }
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Suffix (u64, i128, f32, usize, …).
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        float = true;
+    }
+    text.push_str(&suffix);
+    Tok {
+        kind: if float { TokKind::Float } else { TokKind::Int },
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        let toks = kinds("let x = a.as_ps() + 2;");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "as_ps", "(", ")", "+", "2", ";"]
+        );
+        assert_eq!(toks[9].0, TokKind::Int);
+    }
+
+    #[test]
+    fn float_vs_method_call_vs_tuple_index() {
+        assert_eq!(kinds("1.5")[0].0, TokKind::Float);
+        assert_eq!(kinds("1e9")[0].0, TokKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokKind::Float);
+        assert_eq!(kinds("1.max(2)")[0].0, TokKind::Int);
+        let toks = kinds("x.0");
+        assert_eq!(toks[2], (TokKind::Int, "0".to_string()));
+        assert_eq!(kinds("0xFF_u64")[0], (TokKind::Int, "0xFF_u64".into()));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        assert_eq!(kinds("\"a + b\"")[0].0, TokKind::Str);
+        assert_eq!(kinds("r#\"raw \" here\"#")[0].0, TokKind::Str);
+        assert_eq!(kinds("b\"bytes\"")[0].0, TokKind::Str);
+        assert_eq!(kinds("'x'")[0].0, TokKind::Char);
+        assert_eq!(kinds("'\\n'")[0].0, TokKind::Char);
+        assert_eq!(kinds("b'z'")[0].0, TokKind::Char);
+        assert_eq!(kinds("&'a str")[1].0, TokKind::Lifetime);
+        assert_eq!(kinds("'static")[0].0, TokKind::Lifetime);
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let out = lex("x // lit-lint: allow(r, \"j\")\n/* block + tokens */ y");
+        let texts: Vec<&str> = out.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["x", "y"]);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("lit-lint"));
+        assert_eq!(out.comments[0].line, 1);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let out = lex("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = out.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["a", "b"]);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("ab\n  cd");
+        assert_eq!((out.toks[0].line, out.toks[0].col), (1, 1));
+        assert_eq!((out.toks[1].line, out.toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,94 @@
+//! `lit-lint` CLI.
+//!
+//! ```text
+//! lit-lint check [--root DIR] [--json FILE] [--rule NAME]...
+//! lit-lint rules
+//! ```
+//!
+//! `check` exits 0 when the workspace is clean (suppressed findings are
+//! reported but do not fail), 1 when any violation remains, 2 on usage or
+//! I/O errors. `--json` additionally writes the `lit-lint-v1` report.
+
+#![forbid(unsafe_code)]
+
+use lit_lint::{rules, run_check, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: lit-lint <check [--root DIR] [--json FILE] [--rule NAME]... | rules>");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("rules") => {
+            for r in rules::all() {
+                println!("{:<26} {}", r.name, r.describe);
+                println!("{:<26} protects: {}", "", r.protects);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let mut cfg = Config::default();
+            let mut root = PathBuf::from(".");
+            let mut json: Option<PathBuf> = None;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+                    "--json" => json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+                    "--rule" => {
+                        cfg.only_rules
+                            .insert(args.next().unwrap_or_else(|| usage()));
+                    }
+                    _ => usage(),
+                }
+            }
+            if !root.join("Cargo.toml").is_file() {
+                eprintln!("lit-lint: {} is not a workspace root", root.display());
+                return ExitCode::from(2);
+            }
+            let report = match run_check(&root, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("lit-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Some(path) = &json {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("lit-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            for f in report.violations() {
+                eprintln!(
+                    "{}:{}:{}: [{}] {}\n    {}",
+                    f.file, f.line, f.col, f.rule, f.message, f.snippet
+                );
+            }
+            let allowed = report.findings.iter().filter(|f| f.allowed()).count();
+            let violations = report.violation_count();
+            eprintln!(
+                "lit-lint: {} file(s), {} finding(s): {} violation(s), {} allowed",
+                report.files_scanned,
+                report.findings.len(),
+                violations,
+                allowed
+            );
+            if violations > 0 {
+                for (rule, n) in report.counts_by_rule() {
+                    eprintln!("  {rule}: {n}");
+                }
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

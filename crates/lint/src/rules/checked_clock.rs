@@ -1,0 +1,101 @@
+//! `checked-clock-ops`: `wrapping_*` / `overflowing_*` / `saturating_*`
+//! on clock-carrying values must be individually justified.
+//!
+//! `sim/src/time.rs` documents a fail-loudly contract: clock arithmetic
+//! that could wrap either returns `Option` (`checked_*`) or panics in
+//! both debug and release. Wrapping/overflowing/saturating operators on
+//! values that carry picoseconds erode that contract silently — a clock
+//! that saturates at the wrong place reorders deadlines without a trace
+//! (the PR-2 oracle can only notice *afterwards*). Each use must carry an
+//! allow annotation saying why clamping/wrapping is correct there.
+//!
+//! Detection is per *segment* (tokens between `;`, `,`, `{`, `}`): a
+//! `.wrapping_*() / .overflowing_*() / .saturating_*()` call is flagged
+//! when its segment also mentions a clock marker — `Time`, `Duration`,
+//! `as_ps`, `from_ps`, or any identifier ending in `_ps`. The
+//! `Time`-specific `saturating_since` is always flagged. RNG mixers,
+//! usize bookkeeping, and other non-clock saturating math stay silent.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Stable rule name.
+pub const CHECKED_CLOCK_OPS: &str = "checked-clock-ops";
+
+fn is_flagged_method(name: &str) -> bool {
+    name.starts_with("wrapping_")
+        || name.starts_with("overflowing_")
+        || name.starts_with("saturating_")
+}
+
+fn is_clock_marker(name: &str) -> bool {
+    name == "Time" || name == "Duration" || name == "as_ps" || name == "from_ps" || {
+        name.ends_with("_ps") && name != "as_ps" && name != "from_ps"
+    }
+}
+
+pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.is_time_exempt(&file.rel) || !cfg.is_production_src(&file.rel) {
+        return out;
+    }
+    let toks = &file.toks;
+    // Segment boundaries: statement-ish separators.
+    let mut seg_start = 0usize;
+    let mut i = 0usize;
+    while i <= toks.len() {
+        let at_boundary = i == toks.len()
+            || toks[i].is_punct(';')
+            || toks[i].is_punct(',')
+            || toks[i].is_punct('{')
+            || toks[i].is_punct('}');
+        if at_boundary {
+            scan_segment(file, seg_start, i, &mut out);
+            seg_start = i + 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+fn scan_segment(file: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
+    let toks = &file.toks;
+    let seg = &toks[start..end.min(toks.len())];
+    let has_marker = seg
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && is_clock_marker(&t.text));
+    for (off, t) in seg.iter().enumerate() {
+        let i = start + off;
+        if file.test_mask[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call =
+            i >= 1 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !method_call {
+            continue;
+        }
+        if t.text == "saturating_since" {
+            out.push(
+                file.finding(
+                    CHECKED_CLOCK_OPS,
+                    i,
+                    "`saturating_since` clamps a clock difference to zero; prefer \
+                 `checked_since` and handle `None`, or justify the clamp"
+                        .to_string(),
+                ),
+            );
+        } else if is_flagged_method(&t.text) && has_marker {
+            out.push(file.finding(
+                CHECKED_CLOCK_OPS,
+                i,
+                format!(
+                    "`{}` on a clock-carrying value erodes the fail-loudly contract of \
+                     sim/src/time.rs; use checked ops or justify",
+                    t.text
+                ),
+            ));
+        }
+    }
+}

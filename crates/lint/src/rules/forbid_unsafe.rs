@@ -1,0 +1,44 @@
+//! `forbid-unsafe-everywhere`: every crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! `forbid` (unlike `deny`) cannot be re-allowed further down the tree,
+//! so one attribute per crate root is a static, workspace-wide proof that
+//! no bound computation touches unsafe Rust. Crate roots are `lib.rs`,
+//! `main.rs`, files under `src/bin/`, and the top-level files of
+//! `tests/`, `benches/`, and `examples/` directories — each compiles as
+//! its own crate, and each therefore needs its own attribute.
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Stable rule name.
+pub const FORBID_UNSAFE: &str = "forbid-unsafe-everywhere";
+
+pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    if !cfg.is_crate_root(&file.rel) {
+        return Vec::new();
+    }
+    let toks = &file.toks;
+    let has = toks.windows(7).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+    });
+    if has {
+        return Vec::new();
+    }
+    vec![Finding {
+        rule: FORBID_UNSAFE,
+        file: file.rel.clone(),
+        line: 1,
+        col: 1,
+        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        snippet: file.snippet(1),
+        justification: None,
+    }]
+}

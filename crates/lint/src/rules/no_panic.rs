@@ -1,0 +1,102 @@
+//! `no-panic-hot-path`: the scheduler's per-event code paths must not
+//! contain `unwrap`/`expect`, panicking macros, or panicking indexing.
+//!
+//! The hot paths (configured in [`Config::hot_paths`], by default the
+//! executor, the eligible queues, the event set, the LiT discipline, the
+//! reference server, and the probe hooks) run once or more per simulated
+//! packet per hop. A panic there aborts a multi-minute run — or, in the
+//! production-scheduler future the ROADMAP names, drops live traffic.
+//! Every surviving call must either become a typed error or carry an
+//! allow annotation whose justification states the invariant that makes
+//! it unreachable.
+//!
+//! Flagged: `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!`,
+//! `unimplemented!`, and index expressions `recv[...]` (use `.get()` /
+//! `.get_mut()` or justify). `assert!`/`debug_assert!` are deliberate
+//! precondition checks and stay legal. Test code is exempt.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Stable rule name.
+pub const NO_PANIC_HOT_PATH: &str = "no-panic-hot-path";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !cfg.is_hot_path(&file.rel) {
+        return out;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.test_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let followed_by_call = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if (t.text == "unwrap" || t.text == "expect")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && followed_by_call
+            {
+                out.push(file.finding(
+                    NO_PANIC_HOT_PATH,
+                    i,
+                    format!(
+                        "`.{}(…)` on a hot path: return a typed error, restructure so the \
+                         value is proven present, or justify the invariant with an allow \
+                         annotation",
+                        t.text
+                    ),
+                ));
+            }
+            if PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(file.finding(
+                    NO_PANIC_HOT_PATH,
+                    i,
+                    format!(
+                        "`{}!` on a hot path: degrade or return an error instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        // Index expression: `[` directly after an identifier, `)`, or `]`
+        // is indexing (types `[u64; 4]`, attributes `#[...]`, macro
+        // brackets `vec![...]`, and slice patterns all follow other
+        // tokens).
+        if t.is_punct('[') && i >= 1 {
+            let p = &toks[i - 1];
+            let indexing = p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text)
+                || p.is_punct(')')
+                || p.is_punct(']');
+            if indexing {
+                out.push(
+                    file.finding(
+                        NO_PANIC_HOT_PATH,
+                        i,
+                        "panicking index on a hot path: use `.get()`/`.get_mut()` or justify the \
+                     bound with an allow annotation"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (`return [..]`, `break [..]`, `in [..]`, …).
+fn is_keyword_before_bracket(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "mut" | "dyn" | "as" | "if" | "else" | "match" | "impl"
+    )
+}

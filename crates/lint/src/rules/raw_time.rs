@@ -1,0 +1,168 @@
+//! `raw-time-arithmetic`: raw `u64`/`f64` arithmetic, narrowing casts, and
+//! float literals must not flow into `Time`/`Duration` values.
+//!
+//! Every bound the paper proves (eq. 8-11, ineq. 12/15/16) is computed in
+//! the fixed-point picosecond newtypes of `sim/src/time.rs`; one wrapped
+//! multiplication or float-rounded conversion silently corrupts deadline
+//! order. This rule pushes clock math through the newtypes' checked
+//! operators (which fail loudly) or through explicit `u128`/`i128`
+//! widening (which cannot wrap).
+//!
+//! What fires, at token level:
+//!
+//! 1. `x.as_ps() <op>` / `<op> x.as_ps()` where `<op>` is `+ - * / %` and
+//!    the escaping value is *not* immediately widened with `as u128` /
+//!    `as i128` (or deliberately exported with `as f64` for reporting):
+//!    bare `u64` clock arithmetic, exactly what overflows.
+//! 2. `Time::from_ps(..)` / `Duration::from_{ps,ns,us,ms,secs}(..)` whose
+//!    argument contains arithmetic operators, an `as` cast, or a float
+//!    literal: a clock value built from math that bypassed the newtypes.
+//! 3. `from_secs_f64(..)` / `from_millis_f64(..)` anywhere outside the
+//!    exempt files: a float-to-clock conversion that must be justified.
+//!
+//! `crates/analysis` (measurement/reporting, float by design) and
+//! `crates/sim/src/time.rs` (the definitions themselves) are exempt, as is
+//! test code.
+
+use super::{before_receiver, is_binary_arith};
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::{matching_close, SourceFile};
+use crate::Config;
+
+/// Stable rule name.
+pub const RAW_TIME_ARITHMETIC: &str = "raw-time-arithmetic";
+
+const CLOCK_CONSTRUCTORS: [&str; 5] = ["from_ps", "from_ns", "from_us", "from_ms", "from_secs"];
+const FLOAT_CONSTRUCTORS: [&str; 2] = ["from_secs_f64", "from_millis_f64"];
+/// Widening casts that cannot lose clock precision.
+const WIDENING: [&str; 3] = ["u128", "i128", "f64"];
+
+pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if cfg.is_time_exempt(&file.rel) || !cfg.is_production_src(&file.rel) {
+        return out;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.test_mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+
+        // (1) raw u64 arithmetic around `.as_ps()`.
+        if name == "as_ps"
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            let after = i + 3;
+            let widened = toks.get(after).is_some_and(|t| t.is_ident("as"))
+                && toks
+                    .get(after + 1)
+                    .is_some_and(|t| WIDENING.contains(&t.text.as_str()));
+            if !widened {
+                if after < toks.len() && is_binary_arith(file, after) {
+                    out.push(file.finding(
+                        RAW_TIME_ARITHMETIC,
+                        i,
+                        format!(
+                            "raw u64 arithmetic on `as_ps()` (`{} {}`): widen with `as u128`/`as \
+                             i128` first, or stay in Time/Duration ops",
+                            file.toks[i].text, file.toks[after].text
+                        ),
+                    ));
+                } else if let Some(prev) = before_receiver(file, i - 1) {
+                    if is_binary_arith(file, prev) {
+                        out.push(file.finding(
+                            RAW_TIME_ARITHMETIC,
+                            i,
+                            "raw u64 arithmetic feeding `.as_ps()` as right operand: widen the \
+                             operands or stay in Time/Duration ops"
+                                .to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // (2) clock constructed from computed raw values.
+        if CLOCK_CONSTRUCTORS.contains(&name)
+            && is_clock_type_path(file, i)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            if let Some(close) = matching_close(toks, i + 1) {
+                if close > i + 2 {
+                    if let Some(why) = computed_arg(file, i + 2, close) {
+                        out.push(file.finding(
+                            RAW_TIME_ARITHMETIC,
+                            i,
+                            format!(
+                                "`{}({})` built from {why}: do the math in Duration's checked \
+                                 ops (or justify with an allow annotation)",
+                                name,
+                                arg_preview(file, i + 2, close),
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // (3) float-to-clock conversion.
+        if FLOAT_CONSTRUCTORS.contains(&name) && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            out.push(file.finding(
+                RAW_TIME_ARITHMETIC,
+                i,
+                format!(
+                    "`{name}` converts f64 into a clock value outside lit-analysis; rounding \
+                     must be justified with an allow annotation"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether the constructor ident at `i` is written as `Time::ctor` /
+/// `Duration::ctor`; the explicit type name cuts false positives from
+/// other types' `from_*` associated functions.
+fn is_clock_type_path(file: &SourceFile, i: usize) -> bool {
+    i >= 3
+        && file.toks[i - 1].is_punct(':')
+        && file.toks[i - 2].is_punct(':')
+        && matches!(file.toks[i - 3].text.as_str(), "Time" | "Duration")
+}
+
+/// Why the argument tokens in `(start..close)` count as computed raw
+/// math, if they do.
+fn computed_arg(file: &SourceFile, start: usize, close: usize) -> Option<&'static str> {
+    for j in start..close {
+        let t = &file.toks[j];
+        if t.kind == TokKind::Float {
+            return Some("a float literal");
+        }
+        if t.is_ident("as") {
+            return Some("an `as` cast");
+        }
+        if is_binary_arith(file, j) {
+            return Some("raw integer arithmetic");
+        }
+    }
+    None
+}
+
+fn arg_preview(file: &SourceFile, start: usize, close: usize) -> String {
+    let mut s = String::new();
+    for t in &file.toks[start..close.min(start + 8)] {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    if close > start + 8 {
+        s.push('…');
+    }
+    s
+}

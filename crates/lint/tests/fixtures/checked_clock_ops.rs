@@ -1,0 +1,15 @@
+//! Known-bad fixture for `checked-clock-ops`: wrapping/saturating/
+//! overflowing arithmetic touching clock-carrying values. Never compiled.
+#![forbid(unsafe_code)]
+
+fn wraps(deadline_ps: u64, step: u64) -> u64 {
+    deadline_ps.wrapping_add(step)
+}
+
+fn saturates(a: Time, b: Time) -> Duration {
+    a.saturating_since(b)
+}
+
+fn overflows(d: Duration, k: u64) -> (u64, bool) {
+    d.as_ps().overflowing_mul(k)
+}

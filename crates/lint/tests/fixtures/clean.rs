@@ -1,0 +1,33 @@
+//! Known-good fixture: none of the four rules may fire on this file even
+//! when presented under a hot-path `src/` location. Never compiled.
+#![forbid(unsafe_code)]
+
+/// Clock math stays inside the newtypes or widens before leaving them.
+fn widened(a: Time, b: Time) -> i128 {
+    a.as_ps() as i128 - b.as_ps() as i128
+}
+
+/// Checked operations with handled `None` arms.
+fn checked(t: Time, d: Duration) -> Time {
+    t.checked_add(d).unwrap_or(Time::MAX)
+}
+
+/// Indexing through `get`, errors through `Option`.
+fn graceful(v: &[u64], i: usize) -> u64 {
+    v.get(i).copied().unwrap_or_default()
+}
+
+/// Constructors fed literals or plain bindings only.
+fn built() -> Duration {
+    Duration::from_ms(40)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may panic and index freely.
+    #[test]
+    fn test_code_is_exempt() {
+        let v = vec![1u64];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

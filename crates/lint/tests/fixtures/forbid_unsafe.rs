@@ -1,0 +1,5 @@
+//! Known-bad fixture for `forbid-unsafe-everywhere`: a crate root with no
+//! `#![forbid(unsafe_code)]` attribute. Never compiled.
+
+/// Some documented item, so the file is otherwise unremarkable.
+pub fn fine() {}

@@ -1,0 +1,22 @@
+//! Known-bad fixture for `no-panic-hot-path`. Must fire when presented
+//! under one of the configured hot-path files. Never compiled.
+#![forbid(unsafe_code)]
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expects(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn panics(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+    unreachable!();
+}
+
+fn indexes(v: &[u64], i: usize) -> u64 {
+    v[i] + v[0]
+}

@@ -1,0 +1,23 @@
+//! Known-bad fixture for `raw-time-arithmetic`. Every pattern here must
+//! fire when presented under a production `src/` path. Never compiled.
+#![forbid(unsafe_code)]
+
+fn bare_u64_math(t: Time, d: Duration) -> u64 {
+    t.as_ps() + d.as_ps()
+}
+
+fn right_operand(t: Time, d: Duration) -> u64 {
+    t.as_ps() / 3 + 2 * d.as_ps()
+}
+
+fn computed_ctor(ps: u128) -> Duration {
+    Duration::from_ps(ps as u64)
+}
+
+fn arith_ctor(k: u64) -> Duration {
+    Duration::from_ms(k * 40 + 7)
+}
+
+fn float_ctor(x: f64) -> Duration {
+    Duration::from_secs_f64(x)
+}

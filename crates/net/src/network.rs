@@ -231,6 +231,7 @@ impl NetworkBuilder {
 
         for (i, def) in self.sessions.into_iter().enumerate() {
             for (n, delay) in &def.hops {
+                // lit-lint: allow(no-panic-hot-path, "build-time loop; every route id was range-checked by add_session_with_hops")
                 nodes[*n as usize]
                     .discipline
                     .register_session(&def.spec, delay);
@@ -291,7 +292,11 @@ impl Network {
             if t > until {
                 break;
             }
-            let (t, ev) = self.events.pop().expect("peeked event vanished");
+            // Pop cannot come back empty right after a successful peek;
+            // the `else` arm keeps the executor panic-free regardless.
+            let Some((t, ev)) = self.events.pop() else {
+                break;
+            };
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch(ev);
@@ -306,16 +311,19 @@ impl Network {
 
     /// Statistics of one session.
     pub fn session_stats(&self, id: SessionId) -> &SessionStats {
+        // lit-lint: allow(no-panic-hot-path, "public accessor: panicking on an invalid id is the documented contract")
         &self.session_stats[id.index()]
     }
 
     /// Statistics of one node.
     pub fn node_stats(&self, id: NodeId) -> &NodeStats {
+        // lit-lint: allow(no-panic-hot-path, "public accessor: panicking on an invalid id is the documented contract")
         &self.node_stats[id.index()]
     }
 
     /// The spec a session was registered with.
     pub fn session_spec(&self, id: SessionId) -> &SessionSpec {
+        // lit-lint: allow(no-panic-hot-path, "public accessor: panicking on an invalid id is the documented contract")
         &self.sessions[id.index()].spec
     }
 
@@ -331,6 +339,7 @@ impl Network {
 
     /// The per-hop delay assignments of a session (node index, assignment).
     pub fn session_hops(&self, id: SessionId) -> &[(u32, DelayAssignment)] {
+        // lit-lint: allow(no-panic-hot-path, "public accessor: panicking on an invalid id is the documented contract")
         &self.sessions[id.index()].hops
     }
 
@@ -339,7 +348,14 @@ impl Network {
             Event::Inject { sid } => self.inject(sid),
             Event::Arrive { pkt } => self.arrive(pkt),
             Event::Eligible { pkt, key, at } => {
-                let node = self.sessions[pkt.session.index()].hops[pkt.hop as usize].0;
+                // Resolved only for reporting; u32::MAX is the probes'
+                // "unknown node" convention, so a bad id degrades the
+                // report instead of killing the run.
+                let node = self
+                    .sessions
+                    .get(pkt.session.index())
+                    .and_then(|s| s.hops.get(pkt.hop as usize))
+                    .map_or(u32::MAX, |h| h.0);
                 if self.oracle.enabled() && self.now != at {
                     let now = self.now;
                     self.oracle.violate(ViolationKind::ReleaseTime, || {
@@ -362,7 +378,10 @@ impl Network {
                 // (`E > arrival`), so `now − arrived` is the holding time
                 // of eq. 8–9 and is strictly positive.
                 if let Some(p) = self.probe.as_deref_mut() {
-                    let held = self.now.saturating_since(pkt.arrived);
+                    let held = self
+                        .now
+                        .checked_since(pkt.arrived)
+                        .unwrap_or(Duration::ZERO);
                     p.on_eligible(self.now, node, pview(&pkt), held);
                 }
                 self.enqueue_eligible(node, pkt, key);
@@ -374,7 +393,9 @@ impl Network {
     /// Materialize the pending emission of `sid` as a packet at hop 0 and
     /// pull/schedule the next one.
     fn inject(&mut self, sid: u32) {
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: Inject events carry indices minted by build over this same vec")
         let s = &mut self.sessions[sid as usize];
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: an Inject event is only pushed when `pending` was just filled")
         let e = s.pending.take().expect("Inject without pending emission");
         debug_assert_eq!(e.at, self.now);
         let seq = s.next_seq;
@@ -396,6 +417,7 @@ impl Network {
         }
 
         pkt.ref_delay = w - e.at;
+        // lit-lint: allow(no-panic-hot-path, "session_stats is built with one entry per session; sid was minted by build")
         let st = &mut self.session_stats[sid as usize];
         st.injected += 1;
         st.reference.record(pkt.ref_delay);
@@ -407,22 +429,22 @@ impl Network {
     fn arrive(&mut self, mut pkt: Packet) {
         let sid = pkt.session.index();
         let hop = pkt.hop as usize;
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: packets carry the session id and hop index they were routed with at build")
         let node_idx = self.sessions[sid].hops[hop].0 as usize;
         pkt.arrived = self.now;
 
         // Buffer occupancy, sampled as the paper does: at last-bit arrival,
         // counting the arriving packet and any packet in transmission.
-        let st = &mut self.session_stats[sid];
-        st.occupancy_bits[hop] += pkt.len_bits as u64;
-        let occ = st.occupancy_bits[hop];
-        st.buffer[hop].record(occ);
+        // lit-lint: allow(no-panic-hot-path, "session_stats is built with one entry per session; sid comes from the packet's build-time id")
+        self.session_stats[sid].occupy(hop, pkt.len_bits as u64);
 
         if let Some(p) = self.probe.as_deref_mut() {
-            let depth = self.nodes[node_idx].queue.len();
+            let depth = self.nodes.get(node_idx).map_or(0, |n| n.queue.len());
             let events = self.events.len();
             p.on_arrive(self.now, node_idx as u32, pview(&pkt), depth, events);
         }
 
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
         let node = &mut self.nodes[node_idx];
         let decision = node.discipline.on_arrival(&mut pkt, self.now);
         debug_assert!(
@@ -433,6 +455,7 @@ impl Network {
             // Regulator invariants (eq. 6–7): E is per-session monotone
             // at every hop, and never lies in the past.
             let now = self.now;
+            // lit-lint: allow(no-panic-hot-path, "oracle state is sized per session and hop at build, same shape as the route")
             let last = &mut self.oracle.last_eligible[sid][hop];
             if decision.eligible < *last {
                 let prev = *last;
@@ -489,6 +512,7 @@ impl Network {
     /// Put an eligible packet in the node's transmission queue and start
     /// the link if idle.
     fn enqueue_eligible(&mut self, node_idx: u32, pkt: Packet, key: u128) {
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
         let node = &mut self.nodes[node_idx as usize];
         node.queue.push(key, pkt);
         if node.current.is_none() {
@@ -498,6 +522,7 @@ impl Network {
 
     /// Begin transmitting the highest-priority eligible packet.
     fn start_tx(&mut self, node_idx: u32) {
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
         let node = &mut self.nodes[node_idx as usize];
         debug_assert!(node.current.is_none(), "link already busy");
         let Some(pkt) = node.queue.pop() else {
@@ -509,6 +534,7 @@ impl Network {
             p.on_dispatch(self.now, node_idx, pview(&pkt));
         }
         node.current = Some(pkt);
+        // lit-lint: allow(no-panic-hot-path, "node_stats is built with one entry per node")
         self.node_stats[node_idx as usize].busy.set_busy(self.now);
         self.events
             .push(self.now + tx, Event::TxDone { node: node_idx });
@@ -516,7 +542,9 @@ impl Network {
 
     /// The node's current packet finished transmission.
     fn tx_done(&mut self, node_idx: u32) {
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
         let node = &mut self.nodes[node_idx as usize];
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: a TxDone event exists only while `current` is occupied")
         let mut pkt = node.current.take().expect("TxDone with idle link");
         let finish = self.now;
         node.discipline.on_departure(&mut pkt, finish);
@@ -524,6 +552,7 @@ impl Network {
         let lmax_ps = node.link.lmax_time().as_ps() as i128;
 
         // Node accounting.
+        // lit-lint: allow(no-panic-hot-path, "node_stats is built with one entry per node")
         let nst = &mut self.node_stats[node_idx as usize];
         nst.transmitted += 1;
         nst.bits_transmitted += pkt.len_bits as u64;
@@ -553,9 +582,11 @@ impl Network {
         // Session accounting: the packet no longer occupies this node.
         let sid = pkt.session.index();
         let hop = pkt.hop as usize;
+        // lit-lint: allow(no-panic-hot-path, "session_stats is built with one entry per session; sid comes from the packet's build-time id")
         let st = &mut self.session_stats[sid];
-        st.occupancy_bits[hop] -= pkt.len_bits as u64;
+        st.release(hop, pkt.len_bits as u64);
 
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: packets carry the session id they were routed with at build")
         let hops = self.sessions[sid].hops.len();
         if let Some(p) = self.probe.as_deref_mut() {
             // Deadline slack F − departure; negative means the packet
@@ -585,6 +616,7 @@ impl Network {
                 ref_delay: pkt.ref_delay,
             });
             if self.oracle.enabled() {
+                // lit-lint: allow(no-panic-hot-path, "oracle bounds are sized to the session count at build")
                 if let Some(b) = self.oracle.bounds[sid] {
                     // Ineq. 12, pathwise: D_i − D^ref_i < β + α, for any
                     // arrival pattern (the firewall property).
@@ -636,8 +668,10 @@ impl Network {
         }
 
         // Keep the link busy if more eligible work is queued.
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
         let node = &mut self.nodes[node_idx as usize];
         if node.queue.is_empty() {
+            // lit-lint: allow(no-panic-hot-path, "node_stats is built with one entry per node")
             self.node_stats[node_idx as usize].busy.set_idle(self.now);
         } else {
             self.start_tx(node_idx);
@@ -648,6 +682,7 @@ impl Network {
 impl Network {
     /// The outgoing-link parameters of a node.
     pub fn node_link(&self, id: NodeId) -> &LinkParams {
+        // lit-lint: allow(no-panic-hot-path, "public accessor: panicking on an invalid id is the documented contract")
         &self.nodes[id.index()].link
     }
 
@@ -656,6 +691,7 @@ impl Network {
     /// `lit_core::install_oracle_bounds`). No-op when the oracle is off.
     pub fn set_session_bounds(&mut self, id: SessionId, bounds: SessionBounds) {
         if self.oracle.enabled() {
+            // lit-lint: allow(no-panic-hot-path, "public setter: panicking on an invalid id is the documented contract")
             self.oracle.bounds[id.index()] = Some(bounds);
         }
     }
@@ -702,6 +738,7 @@ impl Network {
         }
         let mut failed = 0;
         for (sid, st) in self.session_stats.iter_mut().enumerate() {
+            // lit-lint: allow(no-panic-hot-path, "oracle bounds and session_stats are built to the same length; sid enumerates the latter")
             let Some(b) = self.oracle.bounds[sid] else {
                 continue;
             };

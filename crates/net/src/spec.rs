@@ -76,8 +76,8 @@ impl DelayAssignment {
                 // len · num / den seconds, computed exactly in u128 ps.
                 let num_ps = len_bits as u128 * num as u128 * PS_PER_SEC as u128;
                 let ps = (num_ps + den / 2) / den;
-                debug_assert!(ps <= u64::MAX as u128);
-                base + Duration::from_ps(ps as u64)
+                let ps = u64::try_from(ps).expect("linear delay increment fits u64 ps");
+                base + Duration::from_ps(ps)
             }
             DelayAssignment::Fixed(d) => d,
         }

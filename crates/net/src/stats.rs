@@ -234,6 +234,26 @@ impl SessionStats {
         }
     }
 
+    /// A packet's last bit arrived at `hop`: grow the occupancy gauge and
+    /// record the new level — counting the arriving packet, which is how
+    /// the paper samples buffer occupancy. Out-of-range hops (a wiring
+    /// bug) record nothing rather than panicking mid-simulation.
+    pub(crate) fn occupy(&mut self, hop: usize, len_bits: u64) {
+        if let (Some(occ), Some(hist)) =
+            (self.occupancy_bits.get_mut(hop), self.buffer.get_mut(hop))
+        {
+            *occ += len_bits;
+            hist.record(*occ);
+        }
+    }
+
+    /// The packet's last bit left `hop`: release its bits from the gauge.
+    pub(crate) fn release(&mut self, hop: usize, len_bits: u64) {
+        if let Some(occ) = self.occupancy_bits.get_mut(hop) {
+            *occ = occ.saturating_sub(len_bits);
+        }
+    }
+
     /// Append to the delivery ring (no-op when the log is off).
     pub(crate) fn log_delivery(&mut self, rec: DeliveryRecord) {
         if self.delivery_cap == 0 {
@@ -277,6 +297,7 @@ impl SessionStats {
     /// `(mean, half_width)`, if enough batches completed.
     pub fn mean_delay_ci(&self) -> Option<(Duration, Duration)> {
         let (m, h) = self.delay_batches.interval()?;
+        // lit-lint: allow(raw-time-arithmetic, "reporting boundary: a batch-means CI is float statistics converted back to a Duration for display")
         Some((Duration::from_secs_f64(m), Duration::from_secs_f64(h)))
     }
 }

@@ -28,7 +28,7 @@
 //!   crates) used by the trace-schema check and the bench-JSON tests.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hub;
 pub mod json;

@@ -175,9 +175,13 @@ impl Probe for ObsProbe {
         eligible_depth: usize,
         event_depth: usize,
     ) {
-        let n = &mut self.shard.nodes[node as usize];
-        n.arrivals += 1;
-        n.eligible_depth.record(eligible_depth as u64);
+        // Ids outside the topology declared at `on_build` skip the dense
+        // registries (an observer must never panic the simulation); the
+        // id-agnostic trace below still records the event.
+        if let Some(n) = self.shard.nodes.get_mut(node as usize) {
+            n.arrivals += 1;
+            n.eligible_depth.record(eligible_depth as u64);
+        }
         self.shard.event_depth.record(event_depth as u64);
         self.record(TraceEvent {
             kind: TraceKind::Arrive,
@@ -195,9 +199,15 @@ impl Probe for ObsProbe {
     }
 
     fn on_eligible(&mut self, now: Time, node: u32, pkt: PacketView, held: Duration) {
-        let h = &mut self.shard.sessions[pkt.session as usize].hops[pkt.hop as usize];
-        h.held += 1;
-        h.holding_ps.record(held.as_ps());
+        if let Some(h) = self
+            .shard
+            .sessions
+            .get_mut(pkt.session as usize)
+            .and_then(|s| s.hops.get_mut(pkt.hop as usize))
+        {
+            h.held += 1;
+            h.holding_ps.record(held.as_ps());
+        }
         self.record(TraceEvent {
             kind: TraceKind::Eligible,
             t_ps: now.as_ps(),
@@ -214,8 +224,17 @@ impl Probe for ObsProbe {
     }
 
     fn on_dispatch(&mut self, now: Time, node: u32, pkt: PacketView) {
-        self.shard.nodes[node as usize].dispatches += 1;
-        self.shard.sessions[pkt.session as usize].hops[pkt.hop as usize].dispatches += 1;
+        if let Some(n) = self.shard.nodes.get_mut(node as usize) {
+            n.dispatches += 1;
+        }
+        if let Some(h) = self
+            .shard
+            .sessions
+            .get_mut(pkt.session as usize)
+            .and_then(|s| s.hops.get_mut(pkt.hop as usize))
+        {
+            h.dispatches += 1;
+        }
         self.record(TraceEvent {
             kind: TraceKind::Dispatch,
             t_ps: now.as_ps(),
@@ -232,14 +251,16 @@ impl Probe for ObsProbe {
     }
 
     fn on_depart(&mut self, now: Time, node: u32, pkt: PacketView, slack_ps: i64, delivered: bool) {
-        let n = &mut self.shard.nodes[node as usize];
-        n.departures += 1;
-        n.served_bits += u64::from(pkt.len_bits);
-        n.slack_ps.record(slack_ps);
-        let s = &mut self.shard.sessions[pkt.session as usize];
-        s.served_bits += u64::from(pkt.len_bits);
-        if delivered {
-            s.delivered += 1;
+        if let Some(n) = self.shard.nodes.get_mut(node as usize) {
+            n.departures += 1;
+            n.served_bits += u64::from(pkt.len_bits);
+            n.slack_ps.record(slack_ps);
+        }
+        if let Some(s) = self.shard.sessions.get_mut(pkt.session as usize) {
+            s.served_bits += u64::from(pkt.len_bits);
+            if delivered {
+                s.delivered += 1;
+            }
         }
         self.record(TraceEvent {
             kind: TraceKind::Depart,

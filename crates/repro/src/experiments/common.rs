@@ -457,6 +457,7 @@ pub fn build_cross_onoff_queued(seed: u64, queue: QueueKind) -> (Network, Sessio
     let jc = add(&mut b, &mut admission, five_hop(), VOICE_BPS, true, onoff());
     for route in cross_routes() {
         let src = Box::new(PoissonSource::new(
+            // lit-lint: allow(raw-time-arithmetic, "paper's Table 1 gives mean gaps in fractional milliseconds; one rounding at config build, sub-ps error")
             Duration::from_secs_f64(0.28804e-3),
             ATM_CELL_BITS,
         ));

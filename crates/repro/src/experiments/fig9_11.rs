@@ -43,6 +43,7 @@ impl Variant {
     /// Tagged session `(rate_bps, mean_gap)`.
     pub fn session(self) -> (u64, Duration) {
         match self {
+            // lit-lint: allow(raw-time-arithmetic, "paper's Table 1 gives mean gaps in fractional milliseconds; one rounding at config build, sub-ps error")
             Variant::Fig9 => (400_000, Duration::from_secs_f64(1.5143e-3)),
             Variant::Fig10 | Variant::Fig11 => (32_000, Duration::from_ms(40)),
         }
@@ -53,10 +54,12 @@ impl Variant {
         match self {
             Variant::Fig9 => CrossTraffic::Poisson {
                 rate_bps: 1_136_000,
+                // lit-lint: allow(raw-time-arithmetic, "paper's Table 1 gives mean gaps in fractional milliseconds; one rounding at config build, sub-ps error")
                 mean_gap: Duration::from_secs_f64(0.3929e-3),
             },
             Variant::Fig10 => CrossTraffic::Poisson {
                 rate_bps: 1_472_000,
+                // lit-lint: allow(raw-time-arithmetic, "paper's Table 1 gives mean gaps in fractional milliseconds; one rounding at config build, sub-ps error")
                 mean_gap: Duration::from_secs_f64(0.28804e-3),
             },
             Variant::Fig11 => CrossTraffic::Deterministic { count: 47 },
@@ -147,7 +150,8 @@ pub fn run(cfg: &RunConfig, variant: Variant) -> DistResult {
 
     let service = Duration::from_bits_at_rate(ATM_CELL_BITS as u64, rate);
     let md1 = Md1::from_mean_gap(gap, service);
-    let shift = Duration::from_ps(pb.shift_ps().max(0) as u64);
+    let shift_ps = u64::try_from(pb.shift_ps().max(0)).expect("shift fits u64 ps");
+    let shift = Duration::from_ps(shift_ps);
 
     // Delay grid: half-millisecond steps from 0 to past the largest
     // observed delay (and at least past the shift, where the bounds

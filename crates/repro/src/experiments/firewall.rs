@@ -68,6 +68,7 @@ fn run_one(factory: &DisciplineFactory<'_>, name: &'static str, cfg: &RunConfig)
             SessionSpec::atm(SessionId(0), 640_000),
             &route.nodes(&nodes),
             Box::new(PoissonSource::new(
+                // lit-lint: allow(raw-time-arithmetic, "paper's Table 1 gives mean gaps in fractional milliseconds; one rounding at config build, sub-ps error")
                 Duration::from_secs_f64(0.8e-3),
                 ATM_CELL_BITS,
             )),
@@ -188,7 +189,7 @@ pub fn fcfs_is_worst(rows: &[FirewallRow]) -> bool {
     let work_conserving_win = rows
         .iter()
         .filter(|r| !matches!(r.discipline, "fcfs" | "jitter-edd" | "hrr"))
-        .all(|r| r.max_delay.as_ps() * 2 < fcfs.max_delay.as_ps());
+        .all(|r| r.max_delay.as_ps() as u128 * 2 < fcfs.max_delay.as_ps() as u128);
     fcfs.max_delay > fcfs.lit_bound && others_bounded && work_conserving_win
 }
 

@@ -93,6 +93,7 @@ fn build(seed: u64) -> (lit_net::Network, SessionId) {
             SessionSpec::atm(SessionId(0), 1_472_000),
             hops,
             Box::new(PoissonSource::new(
+                // lit-lint: allow(raw-time-arithmetic, "paper's Table 1 gives mean gaps in fractional milliseconds; one rounding at config build, sub-ps error")
                 Duration::from_secs_f64(0.28804e-3),
                 ATM_CELL_BITS,
             )),

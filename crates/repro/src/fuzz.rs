@@ -70,7 +70,7 @@ pub fn generate(seed: u64) -> Scenario {
         let rate = 10_000 + rng.below((MAX_RATE_BPS - 10_000) / 1_000 + 1) * 1_000;
         let len = (64 + rng.below(961)) as u32;
         link.lmax_bits = link.lmax_bits.max(len);
-        let gap = Duration::from_ns(100_000 + rng.below(19_900_001));
+        let gap = Duration::from_ns(100_000) + Duration::from_ns(rng.below(19_900_001));
         let source = match rng.below(4) {
             0 => SourceSpec::Poisson { gap, len },
             1 => SourceSpec::Cbr {
@@ -79,13 +79,13 @@ pub fn generate(seed: u64) -> Scenario {
                 offset: Duration::from_ns(rng.below(1_000_001)),
             },
             2 => SourceSpec::Burst {
-                period: Duration::from_ns(10_000_000 + rng.below(90_000_001)),
+                period: Duration::from_ns(10_000_000) + Duration::from_ns(rng.below(90_000_001)),
                 count: (1 + rng.below(32)) as u32,
                 len,
             },
             _ => SourceSpec::OnOff {
-                on: Duration::from_ns(1_000_000 + rng.below(200_000_000)),
-                off: Duration::from_ns(1_000_000 + rng.below(650_000_000)),
+                on: Duration::from_ns(1_000_000) + Duration::from_ns(rng.below(200_000_000)),
+                off: Duration::from_ns(1_000_000) + Duration::from_ns(rng.below(650_000_000)),
                 t: gap,
                 len,
             },
@@ -115,7 +115,7 @@ pub fn generate(seed: u64) -> Scenario {
         backend: EventBackend::Heap,
         seed: rng.next_u64(),
         sessions,
-        horizon: Duration::from_ms(200 + rng.below(801)),
+        horizon: Duration::from_ms(200) + Duration::from_ms(rng.below(801)),
     }
 }
 
@@ -191,7 +191,8 @@ pub fn shrink(mut sc: Scenario) -> Scenario {
         }
     }
     loop {
-        let half_ms = sc.horizon.as_ps() / 2_000_000_000;
+        let half_ms = u64::try_from(sc.horizon.as_ps() as u128 / 2_000_000_000)
+            .expect("halved horizon fits u64 ms");
         if half_ms < 50 {
             break;
         }

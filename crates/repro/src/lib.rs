@@ -8,7 +8,7 @@
 //! functions with shorter horizons.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod fuzz;

@@ -25,6 +25,8 @@
 //! changes results, only wall-clock time. Tables print to stdout and are
 //! also written as CSV under `--out` (default `results/`).
 
+#![forbid(unsafe_code)]
+
 use lit_net::OracleMode;
 use lit_repro::experiments::{
     ablation, fig14_17, fig7, fig8, fig9_11, firewall, heavytail, tables, RunConfig,
@@ -281,21 +283,14 @@ fn main() -> ExitCode {
     let args = parse_args();
     if args.command == "scenario" {
         let path = args.extra.first().cloned().unwrap_or_else(|| usage());
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("scenario: cannot read {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        return match Scenario::parse(&text) {
+        return match Scenario::load(&path) {
             Ok(sc) => {
                 emit(&args.out, "scenario", &sc.run_report());
                 write_obs(&args);
                 oracle_verdict()
             }
             Err(e) => {
-                eprintln!("scenario {path}: {e}");
+                eprintln!("scenario: {e}");
                 ExitCode::FAILURE
             }
         };

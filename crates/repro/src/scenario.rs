@@ -144,6 +144,7 @@ fn parse_duration(s: &str) -> Result<Duration, String> {
         "ns" => v / 1e9,
         other => return Err(format!("unknown duration unit '{other}'")),
     };
+    // lit-lint: allow(raw-time-arithmetic, "scenario files carry durations as decimal unit strings; one rounding at parse time, fail-loud on overflow")
     Ok(Duration::from_secs_f64(secs))
 }
 
@@ -230,6 +231,14 @@ fn parse_discipline(name: &str) -> Result<DisciplineChoice, String> {
 }
 
 impl Scenario {
+    /// Read and parse a scenario file, attaching the path (and line, for
+    /// parse failures) to any error so callers can print it verbatim.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Scenario, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Scenario::parse(&text).map_err(|e| format!("{}:{}: {}", path.display(), e.line, e.message))
+    }
+
     /// Parse a scenario from text.
     pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         let mut nodes = None;
@@ -263,7 +272,12 @@ impl Scenario {
 
         for (ln, line) in logical {
             let mut toks = line.split_whitespace();
-            let head = toks.next().unwrap();
+            // Blank and comment-only lines were dropped above, but a
+            // continuation backslash can still leave a whitespace-only
+            // logical line; skip it rather than unwrap on it.
+            let Some(head) = toks.next() else {
+                continue;
+            };
             match head {
                 "nodes" => {
                     let count: usize = toks

@@ -86,6 +86,7 @@ impl<T> Bucket<T> {
     }
 
     fn front(&self) -> Option<&Slot<T>> {
+        // lit-lint: allow(no-panic-hot-path, "fixed inline array; slot 0 exists for any BUCKET_CAP >= 1")
         self.slots[0].as_ref()
     }
 
@@ -93,21 +94,26 @@ impl<T> Bucket<T> {
     fn insert_sorted(&mut self, slot: Slot<T>) {
         let mut i = self.len as usize;
         while i > 0 {
+            // lit-lint: allow(no-panic-hot-path, "structure invariant: i <= len <= BUCKET_CAP and every slot below len is Some")
             let prev = self.slots[i - 1].as_ref().expect("bucket: hole below len");
             if (prev.key, prev.seq) <= (slot.key, slot.seq) {
                 break;
             }
+            // lit-lint: allow(no-panic-hot-path, "caller guarantees len < BUCKET_CAP, so i and i - 1 are in bounds")
             self.slots[i] = self.slots[i - 1].take();
             i -= 1;
         }
+        // lit-lint: allow(no-panic-hot-path, "caller guarantees len < BUCKET_CAP, so i is in bounds")
         self.slots[i] = Some(slot);
         self.len += 1;
     }
 
     fn pop_front(&mut self) -> Option<Slot<T>> {
+        // lit-lint: allow(no-panic-hot-path, "fixed inline array; slot 0 exists for any BUCKET_CAP >= 1")
         let out = self.slots[0].take()?;
         let l = self.len as usize;
         for i in 0..l - 1 {
+            // lit-lint: allow(no-panic-hot-path, "structure invariant: i + 1 < len <= BUCKET_CAP")
             self.slots[i] = self.slots[i + 1].take();
         }
         self.len -= 1;
@@ -117,8 +123,10 @@ impl<T> Bucket<T> {
     /// Remove and return the largest entry; caller guarantees non-empty.
     fn pop_back(&mut self) -> Slot<T> {
         self.len -= 1;
+        // lit-lint: allow(no-panic-hot-path, "structure invariant: the old len was <= BUCKET_CAP and every slot below it is Some")
         self.slots[self.len as usize]
             .take()
+            // lit-lint: allow(no-panic-hot-path, "structure invariant: every slot below len is Some")
             .expect("bucket: hole below len")
     }
 }
@@ -280,6 +288,7 @@ impl<T> CalendarQueue<T> {
     /// entry to the overflow heap when the inline slots are full.
     fn place(&mut self, slot: Slot<T>) {
         let idx = self.bucket_of(slot.key);
+        // lit-lint: allow(no-panic-hot-path, "bucket_of maps every key into 0..buckets.len()")
         let b = &mut self.buckets[idx];
         if (b.len as usize) < BUCKET_CAP {
             b.insert_sorted(slot);
@@ -289,8 +298,10 @@ impl<T> CalendarQueue<T> {
         // Overflow traffic is O(log n) work the width estimate should
         // have avoided; charge it so chronic spilling triggers a rebuild.
         self.debt.set(self.debt.get() + 1);
+        // lit-lint: allow(no-panic-hot-path, "this branch runs only when the bucket is full, so its last slot is Some")
         let back = b.slots[BUCKET_CAP - 1]
             .as_ref()
+            // lit-lint: allow(no-panic-hot-path, "this branch runs only when the bucket is full, so its last slot is Some")
             .expect("bucket: hole below len");
         let spill = if (slot.key, slot.seq) >= (back.key, back.seq) {
             slot
@@ -328,8 +339,10 @@ impl<T> CalendarQueue<T> {
         };
         let (key, item) = match pos.loc {
             MinLoc::Ring(idx) => {
+                // lit-lint: allow(no-panic-hot-path, "hint invariant: find_min cached a position inside an occupied bucket, and every mutation clears the hint")
                 let slot = self.buckets[idx]
                     .pop_front()
+                    // lit-lint: allow(no-panic-hot-path, "hint invariant: find_min cached a position inside an occupied bucket, and every mutation clears the hint")
                     .expect("calendar: hinted bucket is empty");
                 debug_assert_eq!((slot.key, slot.seq), (pos.key, pos.seq));
                 self.ring_len -= 1;
@@ -340,6 +353,7 @@ impl<T> CalendarQueue<T> {
                 let e = self
                     .overflow
                     .pop()
+                    // lit-lint: allow(no-panic-hot-path, "hint invariant: find_min saw a non-empty overflow heap, and every mutation clears the hint")
                     .expect("calendar: hinted overflow is empty");
                 debug_assert_eq!((e.key, e.seq), (pos.key, pos.seq));
                 self.ov_min = self.overflow.peek().map(|o| (o.key, o.seq));

@@ -19,7 +19,7 @@
 //! This keeps the event core reusable and independently testable.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod calendar;
 mod entry;

@@ -138,6 +138,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         match &mut self.inner {
             Inner::Heap(h) => h.pop().map(|e| (e.key, e.item)),
+            // lit-lint: allow(raw-time-arithmetic, "calendar keys are as_ps() values widened to u128 at push; the narrowing is a lossless roundtrip")
             Inner::Calendar(c) => c.pop().map(|(k, e)| (Time::from_ps(k as u64), e)),
         }
     }
@@ -146,6 +147,7 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&self) -> Option<Time> {
         match &self.inner {
             Inner::Heap(h) => h.peek().map(|e| e.key),
+            // lit-lint: allow(raw-time-arithmetic, "calendar keys are as_ps() values widened to u128 at push; the narrowing is a lossless roundtrip")
             Inner::Calendar(c) => c.peek_key().map(|k| Time::from_ps(k as u64)),
         }
     }

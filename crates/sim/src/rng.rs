@@ -148,6 +148,7 @@ impl SimRng {
     pub fn exponential(&mut self, mean: Duration) -> Duration {
         let u = self.unit_f64();
         let x = -(1.0 - u).ln() * mean.as_secs_f64();
+        // lit-lint: allow(raw-time-arithmetic, "exponential sampling is float by nature; one rounding at the draw boundary, fail-loud on overflow")
         Duration::from_secs_f64(x)
     }
 

@@ -32,6 +32,16 @@ pub const PS_PER_MS: u64 = 1_000_000_000;
 /// Picoseconds per second.
 pub const PS_PER_SEC: u64 = 1_000_000_000_000;
 
+/// Scale a raw unit count into picoseconds, panicking on overflow in
+/// debug *and* release: a clock constructor that wrapped would corrupt
+/// every deadline downstream, so it must fail loudly instead.
+const fn scale_ps(count: u64, per: u64) -> u64 {
+    match count.checked_mul(per) {
+        Some(ps) => ps,
+        None => panic!("clock constructor overflowed u64 picoseconds"),
+    }
+}
+
 /// An absolute instant on the simulation clock, in picoseconds since the
 /// start of the run.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -57,25 +67,25 @@ impl Time {
     /// Construct from nanoseconds.
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
-        Time(ns * PS_PER_NS)
+        Time(scale_ps(ns, PS_PER_NS))
     }
 
     /// Construct from microseconds.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        Time(us * PS_PER_US)
+        Time(scale_ps(us, PS_PER_US))
     }
 
     /// Construct from milliseconds.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        Time(ms * PS_PER_MS)
+        Time(scale_ps(ms, PS_PER_MS))
     }
 
     /// Construct from seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        Time(s * PS_PER_SEC)
+        Time(scale_ps(s, PS_PER_SEC))
     }
 
     /// Raw picosecond count.
@@ -151,25 +161,25 @@ impl Duration {
     /// Construct from nanoseconds.
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
-        Duration(ns * PS_PER_NS)
+        Duration(scale_ps(ns, PS_PER_NS))
     }
 
     /// Construct from microseconds.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
-        Duration(us * PS_PER_US)
+        Duration(scale_ps(us, PS_PER_US))
     }
 
     /// Construct from milliseconds.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
-        Duration(ms * PS_PER_MS)
+        Duration(scale_ps(ms, PS_PER_MS))
     }
 
     /// Construct from seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
-        Duration(s * PS_PER_SEC)
+        Duration(scale_ps(s, PS_PER_SEC))
     }
 
     /// Construct from fractional seconds, rounding to the nearest
@@ -206,7 +216,7 @@ impl Duration {
         assert!(rate_bps > 0, "from_bits_at_rate: zero rate");
         let num = bits as u128 * PS_PER_SEC as u128;
         let ps = (num + rate_bps as u128 / 2) / rate_bps as u128;
-        debug_assert!(ps <= u64::MAX as u128, "from_bits_at_rate: overflow");
+        assert!(ps <= u64::MAX as u128, "from_bits_at_rate: overflow");
         Duration(ps as u64)
     }
 

@@ -4,6 +4,8 @@
 //! interleaving of pushes and pops, the queue must agree with the model
 //! exactly — that is the determinism contract everything above relies on.
 
+#![forbid(unsafe_code)]
+
 use lit_prop::{check, Gen};
 use lit_sim::{Duration, EventBackend, EventQueue, SimRng, Time};
 

@@ -1,0 +1,112 @@
+//! Property tests for the fixed-point clock types near `u64::MAX`.
+//!
+//! The contract lit-lint's clock rules lean on: arithmetic on `Time`/
+//! `Duration` either reports overflow (`checked_*` returns `None`) or
+//! fails loudly (constructors and `+`/`-` panic), in debug *and* release.
+//! A silently wrapped clock would corrupt deadline order, so these
+//! properties drive inputs within a few thousand picoseconds of the
+//! representable ceiling and assert nothing wraps.
+
+#![forbid(unsafe_code)]
+
+use lit_prop::{check, Gen};
+use lit_sim::{Duration, Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
+use std::panic::catch_unwind;
+
+/// A magnitude mix that hammers the overflow boundary: mostly values
+/// within 4096 of `u64::MAX`, some near `MAX / unit-scale` edges, some
+/// ordinary small counts as a control group.
+fn gen_count(g: &mut Gen) -> u64 {
+    match g.weighted(&[4, 3, 2]) {
+        0 => u64::MAX - g.below(4096),
+        1 => {
+            let per = *g.pick(&[PS_PER_NS, PS_PER_US, PS_PER_MS, PS_PER_SEC]);
+            let edge = u64::MAX / per;
+            // Straddle the exact largest representable count for the unit.
+            (edge - 2).saturating_add(g.below(5))
+        }
+        _ => g.below(1 << 20),
+    }
+}
+
+/// Every multiplying constructor must agree with u128 math: return the
+/// exact picosecond value when it fits in u64, panic when it does not.
+#[test]
+fn constructors_near_max_fail_loudly() {
+    // Constructor overflow panics are the *expected* outcome for half the
+    // generated inputs; silence the per-panic backtrace spam. (All panic
+    // assertions live in this one test fn, so no other test in this
+    // binary races on the process-global hook.)
+    std::panic::set_hook(Box::new(|_| {}));
+    check("constructors_near_max_fail_loudly", |g| {
+        let n = gen_count(g);
+        type Ctor = fn(u64) -> u64;
+        let cases: [(u64, Ctor); 4] = [
+            (PS_PER_NS, |k| Duration::from_ns(k).as_ps()),
+            (PS_PER_US, |k| Duration::from_us(k).as_ps()),
+            (PS_PER_MS, |k| Duration::from_ms(k).as_ps()),
+            (PS_PER_SEC, |k| Duration::from_secs(k).as_ps()),
+        ];
+        for (per, ctor) in cases {
+            let wide = n as u128 * per as u128;
+            let got = catch_unwind(move || ctor(n));
+            if wide <= u64::MAX as u128 {
+                assert_eq!(got.ok(), Some(wide as u64), "unit {per}: wrong product");
+            } else {
+                assert!(
+                    got.is_err(),
+                    "unit {per}: count {n} wrapped instead of panicking"
+                );
+            }
+        }
+        // Time's constructors share the same scaling helper; spot-check one.
+        let wide = n as u128 * PS_PER_MS as u128;
+        let got = catch_unwind(move || Time::from_ms(n).as_ps());
+        assert_eq!(got.ok(), (wide <= u64::MAX as u128).then_some(wide as u64));
+    });
+}
+
+/// `checked_add`/`checked_mul`/`checked_since` must agree with u128 math
+/// bit-for-bit, and the panicking operators must panic exactly when the
+/// checked form reports `None`.
+#[test]
+fn checked_ops_match_u128_oracle() {
+    std::panic::set_hook(Box::new(|_| {}));
+    check("checked_ops_match_u128_oracle", |g| {
+        let a = gen_count(g);
+        let b = gen_count(g);
+        let t = Time::from_ps(a);
+        let d = Duration::from_ps(b);
+
+        let sum = a as u128 + b as u128;
+        let fits = sum <= u64::MAX as u128;
+        assert_eq!(
+            t.checked_add(d).map(Time::as_ps),
+            fits.then_some(sum as u64),
+            "checked_add disagrees with u128 for {a} + {b}"
+        );
+        assert_eq!(
+            catch_unwind(move || (t + d).as_ps()).ok(),
+            fits.then_some(sum as u64),
+            "`+` must panic exactly when checked_add is None"
+        );
+
+        let k = g.below(8);
+        let prod = b as u128 * k as u128;
+        let fits = prod <= u64::MAX as u128;
+        assert_eq!(
+            d.checked_mul(k).map(Duration::as_ps),
+            fits.then_some(prod as u64),
+            "checked_mul disagrees with u128 for {b} * {k}"
+        );
+
+        // Subtraction in both directions: checked reports, saturating clamps.
+        let u = Time::from_ps(b);
+        if a >= b {
+            assert_eq!(t.checked_since(u), Some(Duration::from_ps(a - b)));
+        } else {
+            assert_eq!(t.checked_since(u), None);
+            assert_eq!(t.saturating_since(u), Duration::ZERO);
+        }
+    });
+}

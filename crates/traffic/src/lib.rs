@@ -22,7 +22,7 @@
 //! cell); every model takes the length as a parameter regardless.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod deterministic;
 mod onoff;

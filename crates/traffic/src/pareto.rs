@@ -96,6 +96,7 @@ impl ParetoOnOffSource {
         // Cap a single silence at an hour: keeps pathological tail draws
         // from overflowing the clock while distorting the mean by < 1e-6
         // at any realistic configuration.
+        // lit-lint: allow(raw-time-arithmetic, "Pareto sampling is float by nature; the 1h cap above bounds the draw before rounding")
         Duration::from_secs_f64(secs.min(3_600.0))
     }
 

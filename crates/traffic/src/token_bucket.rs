@@ -118,9 +118,9 @@ impl TokenBucket {
         }
         let deficit = need - self.tokens_pb;
         // ceil(deficit / rate) picoseconds until the deficit refills.
-        let wait_ps = deficit.div_ceil(self.rate_bps as u128);
-        debug_assert!(wait_ps <= u64::MAX as u128);
-        Some(now + Duration::from_ps(wait_ps as u64))
+        let wait_ps = u64::try_from(deficit.div_ceil(self.rate_bps as u128))
+            .expect("token-bucket refill wait fits u64 ps");
+        Some(now + Duration::from_ps(wait_ps))
     }
 }
 

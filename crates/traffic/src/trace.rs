@@ -71,6 +71,7 @@ impl TraceSource {
                 .parse()
                 .map_err(|_| format!("line {}: bad length '{l}'", i + 1))?;
             pairs.push((
+                // lit-lint: allow(raw-time-arithmetic, "trace files carry timestamps as fractional microseconds; one rounding at load time, fail-loud on overflow")
                 lit_sim::Time::ZERO + lit_sim::Duration::from_secs_f64(t_us / 1e6),
                 len,
             ));

@@ -4,6 +4,8 @@
 //! * long-run rates track `mean_rate_bps` where defined;
 //! * the token bucket's exact integer arithmetic never drifts.
 
+#![forbid(unsafe_code)]
+
 use lit_prop::check;
 use lit_sim::{Duration, SimRng, Time};
 use lit_traffic::{

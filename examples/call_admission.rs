@@ -12,6 +12,8 @@
 //! its analytic delay bound: admission control is exactly what makes those
 //! bounds *mean* something.
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::core::{ConnectionManager, DRule, LitDiscipline, PathBounds, SessionRequest};
 use leave_in_time::net::{LinkParams, NetworkBuilder, SessionId, SessionSpec};
 use leave_in_time::prelude::*;

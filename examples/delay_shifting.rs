@@ -12,6 +12,8 @@
 //! the class-2 sessions: the paper's notion of shifting delay between
 //! sessions.
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::core::{
     ClassedAdmission, DRule, DelayClass, LitDiscipline, PathBounds, Procedure, SessionRequest,
 };

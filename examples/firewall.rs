@@ -9,6 +9,8 @@
 //! The same scenario runs under FCFS and under Leave-in-Time; only the
 //! discipline changes, the traffic and seeds are identical.
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::baselines::FcfsDiscipline;
 use leave_in_time::core::{LitDiscipline, PathBounds};
 use leave_in_time::net::{DisciplineFactory, LinkParams, NetworkBuilder, SessionId, SessionSpec};

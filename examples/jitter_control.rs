@@ -11,6 +11,8 @@
 //! pushed toward the delay *bound* (regulated packets ride close to the
 //! worst case by design).
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::core::{LitDiscipline, PathBounds};
 use leave_in_time::net::{LinkParams, NetworkBuilder, SessionId, SessionSpec};
 use leave_in_time::prelude::*;

@@ -10,6 +10,8 @@
 //! like VirtualClock), runs 30 simulated seconds, and compares the
 //! measured end-to-end delay against the analytic bound of ineq. (15).
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::core::{ClassedAdmission, DRule, LitDiscipline, PathBounds, SessionRequest};
 use leave_in_time::net::{LinkParams, NetworkBuilder, SessionId, SessionSpec};
 use leave_in_time::prelude::*;

@@ -13,6 +13,8 @@
 //! read its playback delay straight off that curve — before ever sending
 //! a packet — and compare it afterwards with the simulated truth.
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::analysis::Md1;
 use leave_in_time::core::{LitDiscipline, PathBounds};
 use leave_in_time::net::{LinkParams, NetworkBuilder, SessionId, SessionSpec};

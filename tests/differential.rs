@@ -4,6 +4,8 @@
 //! compared packet-for-packet. See `lit_repro::fuzz` for the generator
 //! and the `fuzz_diff` binary in `lit-bench` for long campaigns.
 
+#![forbid(unsafe_code)]
+
 use lit_repro::fuzz;
 use lit_repro::scenario::Scenario;
 

@@ -5,6 +5,8 @@
 //! histogram populations with their sampling sites, and the violation
 //! counters with the conformance oracle's count-mode totals.
 
+#![forbid(unsafe_code)]
+
 use lit_net::{NodeId, OracleMode};
 use lit_obs::metrics::ObsShard;
 use lit_obs::{trace::TraceKind, ObsProbe};

@@ -9,6 +9,8 @@
 //! UPDATE_GOLDEN=1 cargo test --test obs_snapshot
 //! ```
 
+#![forbid(unsafe_code)]
+
 use lit_obs::{trace, ObsProbe};
 use lit_repro::scenario::{RunOptions, Scenario};
 use lit_sim::Duration;

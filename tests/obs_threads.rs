@@ -7,6 +7,8 @@
 //! is process-global state, so this stays a single `#[test]` in its own
 //! integration-test binary — nothing else can race the flags.
 
+#![forbid(unsafe_code)]
+
 use lit_repro::experiments::{fig8, RunConfig};
 
 fn run_pooled(threads: usize) -> (String, String, String) {

@@ -6,6 +6,8 @@
 //! same code paths at 15–30 simulated seconds, which is long enough for
 //! the structural claims (bounds, orderings, isolation) to be decidable.
 
+#![forbid(unsafe_code)]
+
 use lit_repro::experiments::{common, fig14_17, fig7, fig8, fig9_11, firewall, RunConfig};
 use lit_sim::Duration;
 

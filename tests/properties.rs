@@ -11,6 +11,8 @@
 //! `LIT_PROP_SEED=<seed>`. Regression seeds found by the differential
 //! fuzz harness (`fuzz_diff`) get pinned via `check_with`.
 
+#![forbid(unsafe_code)]
+
 use leave_in_time::baselines::VirtualClockDiscipline;
 use leave_in_time::core::{install_oracle_bounds, Ac3Admission, LitDiscipline, PathBounds};
 use leave_in_time::net::{

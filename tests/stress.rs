@@ -5,6 +5,8 @@
 //! suites assert: bounds for *all* sessions, conservation, non-saturation,
 //! and bit-reproducibility of the summary.
 
+#![forbid(unsafe_code)]
+
 use lit_repro::experiments::common::build_mix_one_class;
 use lit_sim::{Duration, Time};
 

@@ -4,6 +4,8 @@
 //! seed and no shared state, and results are reassembled by index — these
 //! tests pin that contract end to end, through table rendering.
 
+#![forbid(unsafe_code)]
+
 use lit_repro::experiments::{fig7, fig8, replica_seed, run_points, RunConfig};
 
 fn cfg(threads: usize, seconds: u64, replicas: u32) -> RunConfig {
