@@ -31,7 +31,9 @@
 //! `x_min = L_max / r` (the paper notes that in [26] "bandwidth is
 //! reserved at the peak rate implied by `x_min`").
 
-use lit_net::{DelayAssignment, Discipline, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, Packet, ScheduleDecision, SessionId, SessionSpec, SessionTable,
+};
 use lit_sim::{Duration, Time};
 
 /// Per-session EDD state at one node.
@@ -49,7 +51,7 @@ struct EddState {
 pub struct EddDiscipline {
     /// `true` ⇒ Jitter-EDD (regulators on), `false` ⇒ Delay-EDD.
     jitter: bool,
-    sessions: Vec<Option<EddState>>,
+    sessions: SessionTable<EddState>,
 }
 
 impl EddDiscipline {
@@ -57,7 +59,7 @@ impl EddDiscipline {
     pub fn delay_edd() -> Self {
         EddDiscipline {
             jitter: false,
-            sessions: Vec::new(),
+            sessions: SessionTable::new(),
         }
     }
 
@@ -65,7 +67,7 @@ impl EddDiscipline {
     pub fn jitter_edd() -> Self {
         EddDiscipline {
             jitter: true,
-            sessions: Vec::new(),
+            sessions: SessionTable::new(),
         }
     }
 
@@ -91,24 +93,28 @@ impl Discipline for EddDiscipline {
     }
 
     fn register_session(&mut self, spec: &SessionSpec, delay: &DelayAssignment) {
-        let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
-        }
-        self.sessions[idx] = Some(EddState {
-            x_min: Duration::from_bits_at_rate(spec.max_len_bits as u64, spec.rate_bps),
-            // The local delay bound: the session's delay assignment
-            // evaluated at its maximum length (EDD bounds are per session,
-            // not per packet).
-            d: delay.d_max(spec.max_len_bits, spec.rate_bps),
-            exa_prev: None,
-        });
+        self.sessions.insert(
+            spec.id,
+            EddState {
+                x_min: Duration::from_bits_at_rate(spec.max_len_bits as u64, spec.rate_bps),
+                // The local delay bound: the session's delay assignment
+                // evaluated at its maximum length (EDD bounds are per
+                // session, not per packet).
+                d: delay.d_max(spec.max_len_bits, spec.rate_bps),
+                exa_prev: None,
+            },
+        );
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        self.sessions.remove(id);
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
         let jitter = self.jitter;
-        let s = self.sessions[pkt.session.index()]
-            .as_mut()
+        let s = self
+            .sessions
+            .get_mut(pkt.session)
             .expect("packet from unregistered session");
         // Jitter-EDD: the regulator holds the packet for the upstream
         // slack carried in the header.

@@ -18,7 +18,10 @@
 //! the priority key is that frame index (FIFO within a frame), so framed
 //! service order emerges from the node's ordinary eligible queue.
 
-use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionId, SessionSpec,
+    SessionTable,
+};
 use lit_sim::{Duration, Time};
 
 /// Per-session HRR state at one node.
@@ -40,7 +43,7 @@ pub struct HrrDiscipline {
     slots_per_frame: u32,
     /// Slots handed out so far (admission bookkeeping).
     slots_granted: u32,
-    sessions: Vec<Option<HrrState>>,
+    sessions: SessionTable<HrrState>,
 }
 
 impl HrrDiscipline {
@@ -60,7 +63,7 @@ impl HrrDiscipline {
             ),
             slots_per_frame,
             slots_granted: 0,
-            sessions: Vec::new(),
+            sessions: SessionTable::new(),
         }
     }
 
@@ -103,10 +106,6 @@ impl Discipline for HrrDiscipline {
     }
 
     fn register_session(&mut self, spec: &SessionSpec, _: &DelayAssignment) {
-        let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
-        }
         let quota = self.slots_for(spec);
         self.slots_granted += quota;
         debug_assert!(
@@ -115,19 +114,30 @@ impl Discipline for HrrDiscipline {
             self.slots_granted,
             self.slots_per_frame
         );
-        self.sessions[idx] = Some(HrrState {
-            quota,
-            frame: 0,
-            used: 0,
-        });
+        self.sessions.insert(
+            spec.id,
+            HrrState {
+                quota,
+                frame: 0,
+                used: 0,
+            },
+        );
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        if let Some(s) = self.sessions.remove(id) {
+            // Return the slots so a future establishment can reuse them.
+            self.slots_granted -= s.quota;
+        }
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
         let earliest = self.frame_of(now) + 1; // never the arrival frame
         let frame_len = self.frame;
         let frame_ps = self.frame.as_ps();
-        let s = self.sessions[pkt.session.index()]
-            .as_mut()
+        let s = self
+            .sessions
+            .get_mut(pkt.session)
             .expect("packet from unregistered session");
         // Find the first frame ≥ earliest with quota left for the session.
         if s.frame < earliest {

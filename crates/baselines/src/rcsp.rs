@@ -18,7 +18,10 @@
 //! sessions at levels `≤ p` (each contributing `⌈d_p/x_min⌉ + 1` packets
 //! at most) plus one blocking lower-priority packet must fit at link rate.
 
-use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionId, SessionSpec,
+    SessionTable,
+};
 use lit_sim::{Duration, Time};
 
 /// Per-session rate-controller state.
@@ -42,7 +45,7 @@ struct RcspState {
 pub struct RcspDiscipline {
     /// Level delay bounds, ascending (level 0 = tightest).
     level_bounds: Vec<Duration>,
-    sessions: Vec<Option<RcspState>>,
+    sessions: SessionTable<RcspState>,
 }
 
 impl RcspDiscipline {
@@ -58,7 +61,7 @@ impl RcspDiscipline {
         );
         RcspDiscipline {
             level_bounds,
-            sessions: Vec::new(),
+            sessions: SessionTable::new(),
         }
     }
 
@@ -86,23 +89,27 @@ impl Discipline for RcspDiscipline {
     }
 
     fn register_session(&mut self, spec: &SessionSpec, delay: &DelayAssignment) {
-        let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
-        }
         let d = delay.d_max(spec.max_len_bits, spec.rate_bps);
         let level = self.level_for(d);
-        self.sessions[idx] = Some(RcspState {
-            x_min: Duration::from_bits_at_rate(spec.max_len_bits as u64, spec.rate_bps),
-            level,
-            d: self.level_bounds[level as usize],
-            e_prev: None,
-        });
+        self.sessions.insert(
+            spec.id,
+            RcspState {
+                x_min: Duration::from_bits_at_rate(spec.max_len_bits as u64, spec.rate_bps),
+                level,
+                d: self.level_bounds[level as usize],
+                e_prev: None,
+            },
+        );
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        self.sessions.remove(id);
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
-        let s = self.sessions[pkt.session.index()]
-            .as_mut()
+        let s = self
+            .sessions
+            .get_mut(pkt.session)
             .expect("packet from unregistered session");
         // Rate controller: reconstruct x_min spacing.
         let eligible = match s.e_prev {

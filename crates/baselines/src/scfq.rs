@@ -13,7 +13,10 @@
 //! [`Discipline::on_service_start`] hook; when the server goes idle at the
 //! end of a busy period, the virtual time and all session stamps reset.
 
-use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionId, SessionSpec,
+    SessionTable,
+};
 use lit_sim::Time;
 
 /// Per-session SCFQ state.
@@ -25,7 +28,7 @@ struct ScfqState {
 
 /// The SCFQ scheduler (one per node).
 pub struct ScfqDiscipline {
-    sessions: Vec<Option<ScfqState>>,
+    sessions: SessionTable<ScfqState>,
     /// Virtual time: tag of the packet in (or last in) service.
     v: f64,
     /// Packets currently queued or in service (busy-period tracking).
@@ -36,7 +39,7 @@ impl ScfqDiscipline {
     /// A new SCFQ scheduler.
     pub fn new() -> Self {
         ScfqDiscipline {
-            sessions: Vec::new(),
+            sessions: SessionTable::new(),
             v: 0.0,
             backlog: 0,
         }
@@ -60,21 +63,25 @@ impl Discipline for ScfqDiscipline {
     }
 
     fn register_session(&mut self, spec: &SessionSpec, _: &DelayAssignment) {
-        let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
-        }
-        self.sessions[idx] = Some(ScfqState {
-            weight: spec.rate_bps as f64,
-            f_last: 0.0,
-        });
+        self.sessions.insert(
+            spec.id,
+            ScfqState {
+                weight: spec.rate_bps as f64,
+                f_last: 0.0,
+            },
+        );
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        self.sessions.remove(id);
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
         self.backlog += 1;
         let v = self.v;
-        let s = self.sessions[pkt.session.index()]
-            .as_mut()
+        let s = self
+            .sessions
+            .get_mut(pkt.session)
             .expect("packet from unregistered session");
         let f = s.f_last.max(v) + pkt.len_bits as f64 / s.weight;
         s.f_last = f;
@@ -100,7 +107,7 @@ impl Discipline for ScfqDiscipline {
         if self.backlog == 0 {
             // End of busy period: reset the virtual clock and all stamps.
             self.v = 0.0;
-            for s in self.sessions.iter_mut().flatten() {
+            for s in self.sessions.values_mut() {
                 s.f_last = 0.0;
             }
         }

@@ -14,7 +14,9 @@
 //! the test suite verify the paper's claim that Leave-in-Time with one
 //! admission class, `d = L/r`, and no jitter control behaves identically.
 
-use lit_net::{DelayAssignment, Discipline, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, Packet, ScheduleDecision, SessionId, SessionSpec, SessionTable,
+};
 use lit_sim::{Duration, Time};
 
 /// Per-session VirtualClock state.
@@ -28,7 +30,7 @@ struct VcState {
 /// The VirtualClock scheduler (one per node).
 #[derive(Clone, Debug, Default)]
 pub struct VirtualClockDiscipline {
-    sessions: Vec<Option<VcState>>,
+    sessions: SessionTable<VcState>,
 }
 
 impl VirtualClockDiscipline {
@@ -49,19 +51,23 @@ impl Discipline for VirtualClockDiscipline {
     }
 
     fn register_session(&mut self, spec: &SessionSpec, _: &DelayAssignment) {
-        let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
-        }
-        self.sessions[idx] = Some(VcState {
-            rate_bps: spec.rate_bps,
-            f_prev: None,
-        });
+        self.sessions.insert(
+            spec.id,
+            VcState {
+                rate_bps: spec.rate_bps,
+                f_prev: None,
+            },
+        );
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        self.sessions.remove(id);
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
-        let s = self.sessions[pkt.session.index()]
-            .as_mut()
+        let s = self
+            .sessions
+            .get_mut(pkt.session)
             .expect("packet from unregistered session");
         let service = Duration::from_bits_at_rate(pkt.len_bits as u64, s.rate_bps);
         let base = match s.f_prev {

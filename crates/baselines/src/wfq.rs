@@ -25,7 +25,10 @@
 //! (≤ ~120 sessions/node) and kept simple on purpose; see the bench crate
 //! for measured cost.
 
-use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionId, SessionSpec,
+    SessionTable,
+};
 use lit_sim::Time;
 
 /// Per-session WFQ state.
@@ -40,7 +43,7 @@ struct WfqState {
 /// The WFQ scheduler (one per node).
 pub struct WfqDiscipline {
     link_bps: f64,
-    sessions: Vec<Option<WfqState>>,
+    sessions: SessionTable<WfqState>,
     /// Current GPS virtual time.
     v: f64,
     /// Real time at which `v` was last updated.
@@ -52,7 +55,7 @@ impl WfqDiscipline {
     pub fn new(link: LinkParams) -> Self {
         WfqDiscipline {
             link_bps: link.rate_bps as f64,
-            sessions: Vec::new(),
+            sessions: SessionTable::new(),
             v: 0.0,
             v_at: Time::ZERO,
         }
@@ -72,7 +75,7 @@ impl WfqDiscipline {
             // Backlogged weight and the nearest stamp above V.
             let mut sum_phi = 0.0;
             let mut next_f = f64::INFINITY;
-            for s in self.sessions.iter().flatten() {
+            for s in self.sessions.values() {
                 if s.f_last > self.v {
                     sum_phi += s.weight;
                     next_f = next_f.min(s.f_last);
@@ -82,7 +85,7 @@ impl WfqDiscipline {
                 // GPS idle: end of a busy period. Reset the virtual clock
                 // and every stamp so the next busy period starts at 0.
                 self.v = 0.0;
-                for s in self.sessions.iter_mut().flatten() {
+                for s in self.sessions.values_mut() {
                     s.f_last = 0.0;
                 }
                 return;
@@ -106,21 +109,25 @@ impl Discipline for WfqDiscipline {
     }
 
     fn register_session(&mut self, spec: &SessionSpec, _: &DelayAssignment) {
-        let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
-        }
-        self.sessions[idx] = Some(WfqState {
-            weight: spec.rate_bps as f64,
-            f_last: 0.0,
-        });
+        self.sessions.insert(
+            spec.id,
+            WfqState {
+                weight: spec.rate_bps as f64,
+                f_last: 0.0,
+            },
+        );
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        self.sessions.remove(id);
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
         self.advance_virtual(now);
         let v = self.v;
-        let s = self.sessions[pkt.session.index()]
-            .as_mut()
+        let s = self
+            .sessions
+            .get_mut(pkt.session)
             .expect("packet from unregistered session");
         let start = v.max(s.f_last);
         let f = start + pkt.len_bits as f64 / s.weight;

@@ -55,6 +55,72 @@ pub fn drive_discipline(d: &mut dyn Discipline, sessions: u32, packets: u64) -> 
     sum
 }
 
+/// Drive `batches` same-(session, instant) arrival bursts of size
+/// `batch` through the discipline, rotating over `sessions` registered
+/// sessions: per burst, either `batch` scalar `on_arrival` calls or one
+/// `on_arrival_batch` call. The packet buffer is reused across bursts so
+/// the measured cost is the arrival math itself, not allocation. Returns
+/// a checksum so the work is not optimized away.
+pub fn drive_arrival_batches(
+    d: &mut dyn Discipline,
+    sessions: u32,
+    batches: u64,
+    batch: usize,
+    batched: bool,
+) -> u128 {
+    let mut sum = 0u128;
+    let mut out: Vec<lit_net::ScheduleDecision> = Vec::with_capacity(batch);
+    let mut buf: Vec<Packet> = (0..batch)
+        .map(|i| Packet::new(SessionId(0), i as u64 + 1, 424, Time::ZERO))
+        .collect();
+    for b in 0..batches {
+        let sid = SessionId((b % u64::from(sessions)) as u32);
+        let now = Time::ZERO + Duration::from_us(50) * b;
+        for p in buf.iter_mut() {
+            p.session = sid;
+        }
+        if batched {
+            out.clear();
+            d.on_arrival_batch(&mut buf, now, &mut out);
+            for dec in &out {
+                sum ^= dec.key;
+            }
+        } else {
+            for p in buf.iter_mut() {
+                let dec = d.on_arrival(p, now);
+                sum ^= dec.key;
+            }
+        }
+    }
+    sum
+}
+
+/// Number of read-modify-write iterations [`calibrate`] performs; divide
+/// its return by this for a per-iteration "machine speed unit".
+pub const CALIBRATE_ITERS: u64 = 10_000_000;
+
+/// Fixed pure-CPU workload whose wall time tracks single-core speed; a
+/// measured time divided by this is a machine-independent number a
+/// committed baseline can store. Mixed ALU + memory reference load:
+/// random read-modify-writes over an L2-sized buffer, roughly the cache
+/// behavior of the simulator's heap churn. A pure-ALU spin tracks
+/// frequency scaling but not memory contention, and the measured/calib
+/// ratio then drifts several percent between contention phases on shared
+/// runners. Returns nanoseconds.
+pub fn calibrate() -> u128 {
+    const WORDS: usize = 1 << 16; // 512 KiB
+    let mut rng = lit_sim::SimRng::seed_from(3);
+    let mut buf = vec![0u64; WORDS];
+    let t = Instant::now();
+    for _ in 0..CALIBRATE_ITERS {
+        let r = rng.next_u64();
+        let idx = (r as usize) & (WORDS - 1);
+        buf[idx] = buf[idx].wrapping_add(r);
+    }
+    black_box(&buf);
+    t.elapsed().as_nanos()
+}
+
 /// A minimal wall-clock stopwatch harness for the `harness = false` bench
 /// targets: estimates a per-iteration cost, then loops for a fixed time
 /// budget and reports mean and best. With `--test` (what CI's smoke run

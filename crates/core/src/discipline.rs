@@ -27,26 +27,61 @@
 //! for fixed-size packets, and for any configuration where `dᵢ` makes `F`
 //! monotone within a session).
 
-use lit_net::{DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionSpec};
+use lit_net::{
+    DelayAssignment, Discipline, LinkParams, Packet, ScheduleDecision, SessionId, SessionSpec,
+};
 use lit_sim::{Duration, Time};
 
-/// Per-session scheduling state at one node.
-#[derive(Clone, Debug)]
-struct SessState {
-    rate_bps: u64,
-    jitter_control: bool,
-    delay: DelayAssignment,
+/// Struct-of-arrays per-session state: one flat column per field, indexed
+/// by dense `SessionId`. A scan over many sessions (or a batch over one)
+/// touches contiguous memory instead of hopping across `Option<Struct>`
+/// slots, and every column is a plain fixed-point array the optimizer can
+/// keep in registers across a batch.
+///
+/// `k_prev_ps` holds the eq. 11 recursion state with `0` standing in for
+/// "no packet yet": the paper sets `K₀ = t₁`, and since `E₁ ≥ t₁ ≥ 0` the
+/// first packet's base `max{E₁, K₀}` equals `max{E₁, 0} = E₁` — exactly
+/// what the explicit `Option::None` case computed. No sentinel branch.
+#[derive(Default)]
+struct SessionCols {
+    /// Slot occupancy; a packet from a vacant slot is a wiring bug.
+    occupied: Vec<bool>,
+    /// Whether the session requested delay-jitter control (eq. 7 vs 6).
+    jitter: Vec<bool>,
+    /// Reserved rate `r_s` in bit/s — the eq. 11 `L/r` clock.
+    rate_bps: Vec<u64>,
+    /// Per-hop delay assignment, lowered to fixed-point coefficients:
+    /// `d_ps(len) = (len·num_ps + den/2)/den + base_ps`.
+    d_num_ps: Vec<u128>,
+    d_den: Vec<u128>,
+    d_base_ps: Vec<u64>,
     /// `d_max,s` at this node — enters the holding-time stamp (eq. 9).
-    d_max: Duration,
-    /// `K_{i-1,s}`; `None` before the first packet (`K_0 = t_1`).
-    k_prev: Option<Time>,
+    d_max_ps: Vec<u64>,
+    /// `K_{i-1,s}` in ps; `0` before the first packet (see above).
+    k_prev_ps: Vec<u64>,
+}
+
+impl SessionCols {
+    fn grow(&mut self, idx: usize) {
+        if self.occupied.len() <= idx {
+            let n = idx + 1;
+            self.occupied.resize(n, false);
+            self.jitter.resize(n, false);
+            self.rate_bps.resize(n, 0);
+            self.d_num_ps.resize(n, 0);
+            self.d_den.resize(n, 1);
+            self.d_base_ps.resize(n, 0);
+            self.d_max_ps.resize(n, 0);
+            self.k_prev_ps.resize(n, 0);
+        }
+    }
 }
 
 /// One Leave-in-Time scheduler instance (one per server node).
 pub struct LitDiscipline {
     link: LinkParams,
-    /// Dense per-session state, indexed by `SessionId`.
-    sessions: Vec<Option<SessState>>,
+    /// Dense per-session columns, indexed by `SessionId`.
+    cols: SessionCols,
 }
 
 impl LitDiscipline {
@@ -54,7 +89,7 @@ impl LitDiscipline {
     pub fn new(link: LinkParams) -> Self {
         LitDiscipline {
             link,
-            sessions: Vec::new(),
+            cols: SessionCols::default(),
         }
     }
 
@@ -63,12 +98,13 @@ impl LitDiscipline {
         |link: &LinkParams| Box::new(LitDiscipline::new(*link)) as Box<dyn Discipline>
     }
 
-    fn state(&mut self, idx: usize) -> &mut SessState {
-        self.sessions
-            .get_mut(idx)
-            .and_then(Option::as_mut)
-            // lit-lint: allow(no-panic-hot-path, "executor invariant: every packet's session id was registered at build; a miss is a wiring bug that must stop the run")
-            .expect("packet from unregistered session")
+    /// Occupancy guard shared by the packet-facing entry points.
+    #[inline]
+    fn check_registered(&self, idx: usize) {
+        assert!(
+            self.cols.occupied.get(idx).copied().unwrap_or(false),
+            "packet from unregistered session"
+        );
     }
 }
 
@@ -79,48 +115,150 @@ impl Discipline for LitDiscipline {
 
     fn register_session(&mut self, spec: &SessionSpec, delay: &DelayAssignment) {
         let idx = spec.id.index();
-        if self.sessions.len() <= idx {
-            self.sessions.resize_with(idx + 1, || None);
+        let c = &mut self.cols;
+        c.grow(idx);
+        let coeffs = delay.coeffs(spec.rate_bps);
+        // Registration-time writes, in-bounds by the grow() above.
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.occupied[idx] = true;
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.jitter[idx] = spec.jitter_control;
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.rate_bps[idx] = spec.rate_bps;
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.d_num_ps[idx] = coeffs.num_ps;
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.d_den[idx] = coeffs.den;
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.d_base_ps[idx] = coeffs.base_ps;
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.d_max_ps[idx] = delay.d_max(spec.max_len_bits, spec.rate_bps).as_ps();
+        // Fresh K-recursion: a reused slot must start at K₀ = t₁.
+        // lit-lint: allow(no-panic-hot-path, "in-bounds by grow(idx) directly above")
+        c.k_prev_ps[idx] = 0;
+    }
+
+    fn unregister_session(&mut self, id: SessionId) {
+        if let Some(slot) = self.cols.occupied.get_mut(id.index()) {
+            *slot = false;
         }
-        // lit-lint: allow(no-panic-hot-path, "registration-time write, in-bounds by the resize_with(idx + 1) directly above")
-        self.sessions[idx] = Some(SessState {
-            rate_bps: spec.rate_bps,
-            jitter_control: spec.jitter_control,
-            delay: *delay,
-            d_max: delay.d_max(spec.max_len_bits, spec.rate_bps),
-            k_prev: None,
-        });
     }
 
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision {
-        let s = self.state(pkt.session.index());
+        let idx = pkt.session.index();
+        self.check_registered(idx);
+        let c = &mut self.cols;
 
         // Eligibility: eq. (6) / (7). `pkt.hold` is Aⁿ from upstream
         // (zero at the first hop per eq. 8).
-        let eligible = if s.jitter_control {
-            now + pkt.hold
-        } else {
-            now
-        };
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let eligible = if c.jitter[idx] { now + pkt.hold } else { now };
 
         // Deadline: eq. (10)–(11), with K₀ = t₁ making the first base
-        // simply E₁ (since E₁ ≥ t₁).
-        let base = match s.k_prev {
-            Some(k) => eligible.max(k),
-            None => eligible,
+        // simply E₁ (since E₁ ≥ t₁ ≥ 0 = the fresh-slot K value).
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let k_prev = c.k_prev_ps[idx];
+        let base = eligible.max(Time::from_ps(k_prev));
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let rate = c.rate_bps[idx];
+        let coeffs = lit_net::DelayCoeffs {
+            // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+            num_ps: c.d_num_ps[idx],
+            // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+            den: c.d_den[idx],
+            // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+            base_ps: c.d_base_ps[idx],
         };
-        let d = s.delay.d_for(pkt.len_bits, s.rate_bps);
+        let d = Duration::from_ps(coeffs.d_ps(pkt.len_bits));
         let f = base + d;
-        let k = base + Duration::from_bits_at_rate(pkt.len_bits as u64, s.rate_bps);
-        s.k_prev = Some(k);
+        let k = base + Duration::from_bits_at_rate(pkt.len_bits as u64, rate);
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        c.k_prev_ps[idx] = k.as_ps();
 
         pkt.deadline = f;
         pkt.d = d;
         ScheduleDecision::at(eligible, f)
     }
 
+    fn on_arrival_batch(
+        &mut self,
+        pkts: &mut [Packet],
+        now: Time,
+        out: &mut Vec<ScheduleDecision>,
+    ) {
+        let Some(first) = pkts.first() else { return };
+        let idx = first.session.index();
+        self.check_registered(idx);
+        let c = &mut self.cols;
+
+        // Hoist the session's columns into locals once per batch: the
+        // eq. 8–11 recursion then runs over plain u64 ps values with no
+        // per-packet table loads or enum dispatch. Every arithmetic step
+        // is the checked twin of the operator the scalar path uses, so
+        // results (and overflow panics) are bit-identical.
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let jitter = c.jitter[idx];
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let rate = c.rate_bps[idx];
+        let coeffs = lit_net::DelayCoeffs {
+            // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+            num_ps: c.d_num_ps[idx],
+            // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+            den: c.d_den[idx],
+            // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+            base_ps: c.d_base_ps[idx],
+        };
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let mut k_prev = c.k_prev_ps[idx];
+        let now_ps = now.as_ps();
+        out.reserve(pkts.len());
+
+        // Consecutive equal lengths (the common case: fixed-size cells)
+        // reuse the divisions for d and L/r — an amortization the scalar
+        // path cannot perform without caching state across calls.
+        let mut memo_len = u32::MAX;
+        let mut memo_d_ps = 0u64;
+        let mut memo_lr_ps = 0u64;
+        for pkt in pkts.iter_mut() {
+            debug_assert_eq!(pkt.session.index(), idx, "mixed-session batch");
+            let e_ps = if jitter {
+                now_ps
+                    .checked_add(pkt.hold.as_ps())
+                    // lit-lint: allow(no-panic-hot-path, "same failure as the scalar path's `now + pkt.hold`: an eligibility past the clock horizon must stop the run")
+                    .expect("time overflowed")
+            } else {
+                now_ps
+            };
+            if pkt.len_bits != memo_len {
+                memo_len = pkt.len_bits;
+                memo_d_ps = coeffs.d_ps(memo_len);
+                memo_lr_ps = Duration::from_bits_at_rate(memo_len as u64, rate).as_ps();
+            }
+            let base_ps = e_ps.max(k_prev);
+            let f_ps = base_ps
+                .checked_add(memo_d_ps)
+                // lit-lint: allow(no-panic-hot-path, "same failure as the scalar path's `base + d`: a deadline past the clock horizon must stop the run")
+                .expect("time overflowed");
+            k_prev = base_ps
+                .checked_add(memo_lr_ps)
+                // lit-lint: allow(no-panic-hot-path, "same failure as the scalar path's `base + L/r`: a K stamp past the clock horizon must stop the run")
+                .expect("time overflowed");
+            pkt.deadline = Time::from_ps(f_ps);
+            pkt.d = Duration::from_ps(memo_d_ps);
+            out.push(ScheduleDecision {
+                eligible: Time::from_ps(e_ps),
+                key: f_ps as u128,
+            });
+        }
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        c.k_prev_ps[idx] = k_prev;
+    }
+
     fn on_departure(&mut self, pkt: &mut Packet, finish: Time) {
-        let d_max = self.state(pkt.session.index()).d_max;
+        let idx = pkt.session.index();
+        self.check_registered(idx);
+        // lit-lint: allow(no-panic-hot-path, "in-bounds: check_registered proved occupied[idx], and all columns share one length")
+        let d_max = Duration::from_ps(self.cols.d_max_ps[idx]);
         // Holding time for the next hop, eq. (9):
         //   A = (F + L_MAX/C − F̂) + (d_max − d_i).
         // Both parenthesized terms are provably non-negative; computed in
@@ -269,5 +407,77 @@ mod tests {
         let mut disc = LitDiscipline::new(LinkParams::paper_t1());
         let mut p = pkt(1);
         disc.on_arrival(&mut p, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered session")]
+    fn unregistered_after_teardown_panics() {
+        let mut disc = mk(false);
+        disc.unregister_session(SessionId(0));
+        let mut p = pkt(1);
+        disc.on_arrival(&mut p, Time::ZERO);
+    }
+
+    #[test]
+    fn reregistered_slot_restarts_k_recursion() {
+        // Advance the K recursion, tear the session down, and register a
+        // new session in the same slot: its first packet must see
+        // K₀ = t₁ (deadline = E + d), not the previous tenant's K.
+        let mut disc = mk(false);
+        let mut p = pkt(1);
+        disc.on_arrival(&mut p, Time::ZERO); // K₁ = 13.25 ms
+        disc.unregister_session(SessionId(0));
+        disc.register_session(&spec(32_000, false), &DelayAssignment::LenOverRate);
+        let mut p = pkt(1);
+        disc.on_arrival(&mut p, Time::from_ms(1));
+        // Fresh recursion: F = 1 + 13.25, not max(1, 13.25) + 13.25.
+        assert_eq!(p.deadline, Time::from_us(14_250));
+    }
+
+    #[test]
+    fn batch_matches_scalar_bit_exactly() {
+        // Mixed lengths and nonzero upstream holds, jitter control on:
+        // the batched eq. 8–11 path must produce the identical decisions,
+        // deadlines, d stamps, and K recursion as per-packet calls.
+        let lens: [u32; 7] = [424, 424, 424, 848, 848, 212, 424];
+        let run = |batched: bool| {
+            let mut disc = LitDiscipline::new(LinkParams::paper_t1());
+            let mut s = spec(32_000, true);
+            s.max_len_bits = 848;
+            disc.register_session(&s, &DelayAssignment::LenOverRate);
+            let mut out = Vec::new();
+            let mut pkts: Vec<Packet> = lens
+                .iter()
+                .enumerate()
+                .map(|(i, &len)| {
+                    let mut p = Packet::new(SessionId(0), i as u64 + 1, len, Time::ZERO);
+                    p.hold = Duration::from_us(137 * i as u64);
+                    p
+                })
+                .collect();
+            let now = Time::from_ms(3);
+            if batched {
+                disc.on_arrival_batch(&mut pkts, now, &mut out);
+            } else {
+                for p in pkts.iter_mut() {
+                    let dec = disc.on_arrival(p, now);
+                    out.push(dec);
+                }
+            }
+            let stamps: Vec<_> = pkts.iter().map(|p| (p.deadline, p.d)).collect();
+            // One more scalar arrival afterwards: the stored K must agree.
+            let mut tail = Packet::new(SessionId(0), 99, 424, Time::ZERO);
+            let tail_dec = disc.on_arrival(&mut tail, Time::from_secs(1));
+            (out, stamps, tail_dec)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batch_on_empty_slice_is_a_no_op() {
+        let mut disc = mk(false);
+        let mut out = Vec::new();
+        disc.on_arrival_batch(&mut [], Time::ZERO, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -57,8 +57,10 @@ impl Default for Config {
             hot_paths: [
                 "crates/net/src/network.rs",
                 "crates/net/src/equeue.rs",
+                "crates/net/src/table.rs",
                 "crates/sim/src/queue.rs",
                 "crates/sim/src/calendar.rs",
+                "crates/sim/src/wheel.rs",
                 "crates/core/src/discipline.rs",
                 "crates/core/src/refserver.rs",
                 "crates/obs/src/probe.rs",

@@ -18,7 +18,7 @@
 //! state. Eligible packets are served in increasing key order, ties broken
 //! FIFO — the paper's "ties are ordered arbitrarily" made deterministic.
 
-use crate::packet::Packet;
+use crate::packet::{Packet, SessionId};
 use crate::spec::{DelayAssignment, LinkParams, SessionSpec};
 use lit_sim::Time;
 
@@ -62,6 +62,32 @@ pub trait Discipline {
     /// eq. (10)–(11) may be advanced here.
     fn on_arrival(&mut self, pkt: &mut Packet, now: Time) -> ScheduleDecision;
 
+    /// A batch of packets of **one session** all arrived at `now`, in
+    /// sequence order. Pushes one decision per packet onto `out`, in
+    /// order; must be observably identical to calling [`Self::on_arrival`]
+    /// on each packet in turn (the default does exactly that).
+    ///
+    /// Struct-of-arrays disciplines override this to amortize dispatch
+    /// and per-session state loads across the batch and run the eq. 8–11
+    /// recursion over flat fixed-point arrays.
+    fn on_arrival_batch(
+        &mut self,
+        pkts: &mut [Packet],
+        now: Time,
+        out: &mut Vec<ScheduleDecision>,
+    ) {
+        for pkt in pkts {
+            let dec = self.on_arrival(pkt, now);
+            out.push(dec);
+        }
+    }
+
+    /// Connection teardown: the session's packets have all drained and its
+    /// id may be reused by a future establishment (see `IdSlab`). The
+    /// discipline drops per-session state so the reused slot starts fresh.
+    /// Default: no-op, for stateless disciplines.
+    fn unregister_session(&mut self, _id: SessionId) {}
+
     /// The packet began transmission at `now`. Optional hook; disciplines
     /// that define a virtual time by the packet in service (e.g. SCFQ)
     /// use it.
@@ -87,5 +113,40 @@ mod tests {
         let d = ScheduleDecision::at(Time::from_ms(1), Time::from_ms(5));
         assert_eq!(d.eligible, Time::from_ms(1));
         assert_eq!(d.key, Time::from_ms(5).as_ps() as u128);
+    }
+
+    #[test]
+    fn default_batch_is_scalar_loop() {
+        // A discipline with per-packet state (a running counter): the
+        // default batch implementation must advance it exactly like the
+        // scalar calls, in order.
+        struct Counting {
+            seen: u64,
+        }
+        impl Discipline for Counting {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn register_session(&mut self, _: &SessionSpec, _: &DelayAssignment) {}
+            fn on_arrival(&mut self, _pkt: &mut Packet, now: Time) -> ScheduleDecision {
+                self.seen += 1;
+                ScheduleDecision {
+                    eligible: now,
+                    key: self.seen as u128,
+                }
+            }
+            fn on_departure(&mut self, _: &mut Packet, _: Time) {}
+        }
+        let mut d = Counting { seen: 0 };
+        let mut pkts: Vec<Packet> = (0..4)
+            .map(|i| Packet::new(SessionId(0), i, 424, Time::ZERO))
+            .collect();
+        let mut out = Vec::new();
+        d.on_arrival_batch(&mut pkts, Time::from_ms(1), &mut out);
+        let keys: Vec<u128> = out.iter().map(|d| d.key).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
+        assert!(out.iter().all(|d| d.eligible == Time::from_ms(1)));
+        // unregister_session default is a no-op and must not panic.
+        d.unregister_session(SessionId(0));
     }
 }

@@ -12,7 +12,7 @@
 //! propagation delay, matching the `Σ (L_MAX/Cₙ + Γₙ)` structure of the
 //! paper's β constant.
 
-use crate::discipline::{Discipline, DisciplineFactory};
+use crate::discipline::{Discipline, DisciplineFactory, ScheduleDecision};
 use crate::equeue::{EligibleQueue, QueueKind};
 use crate::oracle::{
     ccdf_shift_violation, OracleConfig, OracleMode, OracleRt, OracleTotals, SessionBounds,
@@ -92,6 +92,7 @@ pub struct NetworkBuilder {
     event_backend: EventBackend,
     oracle: OracleConfig,
     probe: Option<Box<dyn Probe>>,
+    batch_arrivals: bool,
 }
 
 impl Default for NetworkBuilder {
@@ -112,7 +113,20 @@ impl NetworkBuilder {
             event_backend: EventBackend::default(),
             oracle: OracleConfig::off(),
             probe: None,
+            batch_arrivals: false,
         }
+    }
+
+    /// Drain same-instant arrivals of one session at one node as a batch
+    /// through [`Discipline::on_arrival_batch`] (default: off). Observably
+    /// identical to scalar dispatch — the batch is exactly the run of
+    /// consecutive `Arrive` events the scalar loop would pop anyway, and
+    /// every push happens in the same order with the same sequence
+    /// numbers. Ignored (scalar dispatch) while a probe or the oracle is
+    /// installed, so per-packet hook and check ordering stays untouched.
+    pub fn batch_arrivals(mut self, on: bool) -> Self {
+        self.batch_arrivals = on;
+        self
     }
 
     /// Install an observability probe (default: none). With no probe the
@@ -258,6 +272,12 @@ impl NetworkBuilder {
             p.on_build(self.master_seed, self.links.len(), &session_hops);
         }
 
+        // Batching is observably identical only when nothing watches the
+        // per-packet dispatch order: probes and the oracle both hook each
+        // arrival individually, so they force the scalar path.
+        let batch_arrivals =
+            self.batch_arrivals && probe.is_none() && self.oracle.mode == OracleMode::Off;
+
         Network {
             nodes,
             sessions,
@@ -267,6 +287,9 @@ impl NetworkBuilder {
             session_stats,
             oracle: OracleRt::new(self.oracle, &session_hops),
             probe,
+            batch_arrivals,
+            batch_pkts: Vec::new(),
+            batch_out: Vec::new(),
         }
     }
 }
@@ -282,6 +305,12 @@ pub struct Network {
     session_stats: Vec<SessionStats>,
     oracle: OracleRt,
     probe: Option<Box<dyn Probe>>,
+    /// Batched-arrival dispatch enabled (see
+    /// [`NetworkBuilder::batch_arrivals`]).
+    batch_arrivals: bool,
+    /// Scratch buffers reused across batches (capacity persists).
+    batch_pkts: Vec<Packet>,
+    batch_out: Vec<ScheduleDecision>,
 }
 
 impl Network {
@@ -346,6 +375,7 @@ impl Network {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Inject { sid } => self.inject(sid),
+            Event::Arrive { pkt } if self.batch_arrivals => self.arrive_batched(pkt),
             Event::Arrive { pkt } => self.arrive(pkt),
             Event::Eligible { pkt, key, at } => {
                 // Resolved only for reporting; u32::MAX is the probes'
@@ -507,6 +537,70 @@ impl Network {
         } else {
             self.enqueue_eligible(node_idx as u32, pkt, decision.key);
         }
+    }
+
+    /// Batched arrival dispatch: `first` just popped at `now`; drain the
+    /// run of consecutive `Arrive` events for the same `(session, hop)` at
+    /// the same instant and push the whole run through
+    /// [`Discipline::on_arrival_batch`].
+    ///
+    /// Equivalence with the scalar path: the drained events are exactly
+    /// the ones the scalar loop would pop next anyway (the future-event
+    /// set is FIFO among equal timestamps, and `pop_if` stops at the first
+    /// non-matching front), pops mint no sequence numbers, and the
+    /// per-packet pushes below happen in the same order as scalar
+    /// processing would emit them — so every downstream event gets the
+    /// identical timestamp *and* sequence number. Only reached when no
+    /// probe/oracle is installed (see [`NetworkBuilder::batch_arrivals`]).
+    fn arrive_batched(&mut self, first: Packet) {
+        let sid = first.session;
+        let hop = first.hop;
+        let now = self.now;
+        let mut batch = std::mem::take(&mut self.batch_pkts);
+        batch.clear();
+        batch.push(first);
+        while let Some((_, ev)) = self.events.pop_if(|at, ev| {
+            at == now && matches!(ev, Event::Arrive { pkt } if pkt.session == sid && pkt.hop == hop)
+        }) {
+            if let Event::Arrive { pkt } = ev {
+                batch.push(pkt);
+            }
+        }
+        let sidx = sid.index();
+        let hopx = hop as usize;
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: packets carry the session id and hop index they were routed with at build")
+        let node_idx = self.sessions[sidx].hops[hopx].0 as usize;
+        for pkt in batch.iter_mut() {
+            pkt.arrived = now;
+        }
+        let mut out = std::mem::take(&mut self.batch_out);
+        out.clear();
+        // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
+        let node = &mut self.nodes[node_idx];
+        node.discipline.on_arrival_batch(&mut batch, now, &mut out);
+        debug_assert_eq!(out.len(), batch.len(), "one decision per packet");
+        for (pkt, decision) in batch.drain(..).zip(out.drain(..)) {
+            debug_assert!(
+                decision.eligible >= now,
+                "discipline produced an eligibility time in the past"
+            );
+            // lit-lint: allow(no-panic-hot-path, "session_stats is built with one entry per session; sid comes from the packet's build-time id")
+            self.session_stats[sidx].occupy(hopx, pkt.len_bits as u64);
+            if decision.eligible > now {
+                self.events.push(
+                    decision.eligible,
+                    Event::Eligible {
+                        pkt,
+                        key: decision.key,
+                        at: decision.eligible,
+                    },
+                );
+            } else {
+                self.enqueue_eligible(node_idx as u32, pkt, decision.key);
+            }
+        }
+        self.batch_pkts = batch;
+        self.batch_out = out;
     }
 
     /// Put an eligible packet in the node's transmission queue and start

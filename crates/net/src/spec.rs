@@ -89,6 +89,66 @@ impl DelayAssignment {
     pub fn d_max(&self, max_len_bits: u32, rate_bps: u64) -> Duration {
         self.d_for(max_len_bits, rate_bps)
     }
+
+    /// Lower this assignment to branch-free fixed-point coefficients for a
+    /// session with reserved rate `rate_bps`. `coeffs(r).d_ps(len)` is
+    /// bit-identical to `d_for(len, r).as_ps()` for every form.
+    pub fn coeffs(&self, rate_bps: u64) -> DelayCoeffs {
+        match *self {
+            DelayAssignment::LenOverRate => DelayCoeffs {
+                num_ps: PS_PER_SEC as u128,
+                den: rate_bps as u128,
+                base_ps: 0,
+            },
+            DelayAssignment::Linear { num, den, base } => DelayCoeffs {
+                num_ps: num as u128 * PS_PER_SEC as u128,
+                den,
+                base_ps: base.as_ps(),
+            },
+            DelayAssignment::Fixed(d) => DelayCoeffs {
+                num_ps: 0,
+                den: 1,
+                base_ps: d.as_ps(),
+            },
+        }
+    }
+}
+
+/// A [`DelayAssignment`] lowered to uniform fixed-point coefficients:
+/// every form becomes
+///
+/// ```text
+/// d_ps(len) = (len · num_ps + den/2) / den + base_ps
+/// ```
+///
+/// computed exactly in `u128`. Struct-of-arrays schedulers store one
+/// `(num_ps, den, base_ps)` triple per session and evaluate eq. 8–11 over
+/// flat arrays with no per-packet enum dispatch; the half-denominator
+/// rounding matches `Duration::from_bits_at_rate` and
+/// [`DelayAssignment::d_for`] bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayCoeffs {
+    /// Per-bit slope numerator, pre-multiplied into picoseconds.
+    pub num_ps: u128,
+    /// Per-bit slope denominator (never zero for a valid session).
+    pub den: u128,
+    /// Constant offset in picoseconds.
+    pub base_ps: u64,
+}
+
+impl DelayCoeffs {
+    /// The delay increment for a `len_bits`-bit packet, in picoseconds.
+    ///
+    /// # Panics
+    /// Panics if the increment overflows `u64` picoseconds or `den` is
+    /// zero — the same loud failures as the `DelayAssignment` path.
+    #[inline]
+    pub fn d_ps(&self, len_bits: u32) -> u64 {
+        let ps = (len_bits as u128 * self.num_ps + self.den / 2) / self.den;
+        let ps = u64::try_from(ps).expect("delay increment fits u64 ps");
+        ps.checked_add(self.base_ps)
+            .expect("delay increment overflowed u64 ps")
+    }
 }
 
 /// Everything a node needs to know about a session at connection
@@ -204,6 +264,36 @@ mod tests {
     fn d_max_uses_max_len() {
         let da = DelayAssignment::LenOverRate;
         assert_eq!(da.d_max(848, 32_000), Duration::from_us(26_500));
+    }
+
+    #[test]
+    fn coeffs_match_d_for_bit_exactly() {
+        let forms = [
+            DelayAssignment::LenOverRate,
+            DelayAssignment::Linear {
+                num: 10_000_000,
+                den: 100_000u128 * 100_000_000u128,
+                base: Duration::ZERO,
+            },
+            DelayAssignment::Linear {
+                num: 40_000_000,
+                den: 100_000u128 * 100_000_000u128,
+                base: Duration::from_us(200),
+            },
+            DelayAssignment::Fixed(Duration::from_ms(5)),
+        ];
+        for da in forms {
+            for rate in [32_000, 100_000, 1_536_000, 10_000_000_000] {
+                let c = da.coeffs(rate);
+                for len in [0u32, 1, 53, 424, 848, 65_535, 1 << 24] {
+                    assert_eq!(
+                        c.d_ps(len),
+                        da.d_for(len, rate).as_ps(),
+                        "form={da:?} rate={rate} len={len}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

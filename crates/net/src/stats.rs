@@ -44,6 +44,23 @@ impl Default for StatsConfig {
     }
 }
 
+impl StatsConfig {
+    /// Minimal-footprint sizing for scale runs with very many sessions
+    /// (e.g. the 1k→1M scaling curve): coarse delay bins covering the
+    /// same 1 s span, a handful of buffer bins, no delivery log. Maxima,
+    /// jitter, and counts stay exact — only distribution resolution is
+    /// traded — and per-session memory drops from ~tens of kB to ~1 kB.
+    pub fn compact() -> Self {
+        StatsConfig {
+            delay_bin: Duration::from_ms(20),
+            delay_bins: 50, // covers the same 1 s of delay, coarsely
+            buffer_bin_bits: 424 * 16,
+            buffer_bins: 8,
+            delivery_log_cap: 0,
+        }
+    }
+}
+
 /// One delivered packet, as recorded by the optional delivery log.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DeliveryRecord {

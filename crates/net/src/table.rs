@@ -1,0 +1,275 @@
+//! Dense per-session state tables and the `SessionId` free-list slab.
+//!
+//! Session identifiers are dense `u32` indices by construction (see
+//! [`SessionId`]), so per-session scheduler state never needs a hash map:
+//! a flat table indexed by `id.index()` is both O(1) and cache-linear.
+//! Two pieces live here:
+//!
+//! * [`IdSlab`] — the allocator that *keeps* ids dense across
+//!   connect/teardown churn. Without it, long-running experiments mint
+//!   monotonically growing ids and every table in every node leaks
+//!   capacity; with it, a torn-down session's slot is reused by the next
+//!   establishment and table footprints are bounded by the peak number of
+//!   concurrent sessions.
+//! * [`SessionTable`] — a small slab keyed by `SessionId` for disciplines
+//!   whose per-session state is a single struct (the baselines). The
+//!   Leave-in-Time scheduler goes further and splits its state into
+//!   struct-of-arrays columns (see `lit-core`), but reuses the same
+//!   occupancy discipline.
+
+use crate::packet::SessionId;
+
+/// Free-list allocator for dense [`SessionId`]s.
+///
+/// `alloc` pops the free list before growing the id space, so the
+/// high-water mark — and with it the capacity of every per-session table
+/// in the network — is bounded by the peak number of live sessions, not
+/// by the total number of establishments.
+///
+/// ```
+/// use lit_net::{IdSlab, SessionId};
+///
+/// let mut slab = IdSlab::new();
+/// let a = slab.alloc();
+/// let b = slab.alloc();
+/// assert_eq!((a, b), (SessionId(0), SessionId(1)));
+/// assert!(slab.release(a));
+/// assert_eq!(slab.alloc(), SessionId(0)); // slot reused
+/// assert_eq!(slab.high_water(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct IdSlab {
+    /// `live[i]` iff id `i` is currently allocated; `live.len()` is the
+    /// high-water mark of the id space.
+    live: Vec<bool>,
+    /// Released ids available for reuse (LIFO: warmest slot first).
+    free: Vec<u32>,
+}
+
+impl IdSlab {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the lowest-overhead free id: a released slot if one
+    /// exists, otherwise a fresh id extending the space by one.
+    pub fn alloc(&mut self) -> SessionId {
+        if let Some(id) = self.free.pop() {
+            if let Some(slot) = self.live.get_mut(id as usize) {
+                *slot = true;
+            }
+            return SessionId(id);
+        }
+        // lit-lint: allow(no-panic-hot-path, "control-plane growth path; 2^32 concurrent sessions exceeds any reachable configuration and must stop the run")
+        let id = u32::try_from(self.live.len()).expect("session id space exhausted");
+        self.live.push(true);
+        SessionId(id)
+    }
+
+    /// Return `id` to the free list. `false` (and no state change) if the
+    /// id is unknown or already free — double releases must not poison
+    /// the free list with duplicates.
+    pub fn release(&mut self, id: SessionId) -> bool {
+        match self.live.get_mut(id.index()) {
+            Some(slot) if *slot => {
+                *slot = false;
+                self.free.push(id.0);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether `id` is currently allocated.
+    pub fn is_live(&self, id: SessionId) -> bool {
+        self.live.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of currently allocated ids.
+    pub fn live_count(&self) -> usize {
+        self.live.len() - self.free.len()
+    }
+
+    /// Size of the id space ever used: the bound on every dense
+    /// per-session table's capacity.
+    pub fn high_water(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// A slab of per-session state keyed by dense [`SessionId`]s.
+///
+/// Insert/remove/lookup are O(1); capacity is the id high-water mark.
+/// Removing a session frees its state immediately (`Option` slot), so a
+/// reused id starts from a freshly inserted state, never a stale one.
+#[derive(Clone, Debug)]
+pub struct SessionTable<S> {
+    slots: Vec<Option<S>>,
+    live: usize,
+}
+
+impl<S> Default for SessionTable<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> SessionTable<S> {
+    /// An empty table.
+    pub fn new() -> Self {
+        SessionTable {
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Insert (or replace) the state for `id`, growing the table to fit.
+    pub fn insert(&mut self, id: SessionId, state: S) {
+        let idx = id.index();
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if slot.replace(state).is_none() {
+                self.live += 1;
+            }
+        }
+    }
+
+    /// Remove and return the state for `id`, if present.
+    pub fn remove(&mut self, id: SessionId) -> Option<S> {
+        let out = self.slots.get_mut(id.index()).and_then(Option::take);
+        if out.is_some() {
+            self.live -= 1;
+        }
+        out
+    }
+
+    /// The state for `id`, if present.
+    pub fn get(&self, id: SessionId) -> Option<&S> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Mutable state for `id`, if present.
+    pub fn get_mut(&mut self, id: SessionId) -> Option<&mut S> {
+        self.slots.get_mut(id.index()).and_then(Option::as_mut)
+    }
+
+    /// Whether `id` has state in the table.
+    pub fn contains(&self, id: SessionId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Number of live sessions.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Table capacity: the id high-water mark seen so far.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterate live sessions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (SessionId, &S)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.as_ref()
+                .map(|s| (SessionId(u32::try_from(i).unwrap_or(u32::MAX)), s))
+        })
+    }
+
+    /// Iterate live session states in id order.
+    pub fn values(&self) -> impl Iterator<Item = &S> {
+        self.slots.iter().flatten()
+    }
+
+    /// Iterate live session states mutably, in id order.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut S> {
+        self.slots.iter_mut().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slab_reuses_released_ids() {
+        let mut slab = IdSlab::new();
+        let ids: Vec<_> = (0..4).map(|_| slab.alloc()).collect();
+        assert_eq!(
+            ids,
+            vec![SessionId(0), SessionId(1), SessionId(2), SessionId(3)]
+        );
+        assert!(slab.release(SessionId(1)));
+        assert!(slab.release(SessionId(2)));
+        // LIFO reuse: warmest slot first.
+        assert_eq!(slab.alloc(), SessionId(2));
+        assert_eq!(slab.alloc(), SessionId(1));
+        assert_eq!(slab.alloc(), SessionId(4));
+        assert_eq!(slab.high_water(), 5);
+        assert_eq!(slab.live_count(), 5);
+    }
+
+    #[test]
+    fn slab_rejects_double_release() {
+        let mut slab = IdSlab::new();
+        let a = slab.alloc();
+        assert!(slab.release(a));
+        assert!(!slab.release(a), "double release must be rejected");
+        assert!(!slab.release(SessionId(99)), "unknown id must be rejected");
+        // The free list holds exactly one entry: a single realloc, then
+        // fresh growth.
+        assert_eq!(slab.alloc(), a);
+        assert_eq!(slab.alloc(), SessionId(1));
+    }
+
+    #[test]
+    fn churn_bounds_high_water_at_peak_live() {
+        let mut slab = IdSlab::new();
+        // 1000 connect/teardown cycles with at most 3 concurrent sessions
+        // must not grow the id space past 3.
+        let mut held: Vec<SessionId> = Vec::new();
+        for i in 0..1000 {
+            if held.len() == 3 {
+                let id = held.remove(i % held.len());
+                assert!(slab.release(id));
+            }
+            held.push(slab.alloc());
+        }
+        assert_eq!(slab.high_water(), 3);
+    }
+
+    #[test]
+    fn table_insert_remove_get() {
+        let mut t: SessionTable<u64> = SessionTable::new();
+        t.insert(SessionId(2), 20);
+        t.insert(SessionId(0), 0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.capacity(), 3);
+        assert_eq!(t.get(SessionId(2)), Some(&20));
+        assert_eq!(t.get(SessionId(1)), None);
+        assert!(!t.contains(SessionId(1)));
+        *t.get_mut(SessionId(0)).unwrap() = 5;
+        assert_eq!(t.remove(SessionId(0)), Some(5));
+        assert_eq!(t.remove(SessionId(0)), None);
+        assert_eq!(t.len(), 1);
+        let pairs: Vec<_> = t.iter().map(|(id, &v)| (id, v)).collect();
+        assert_eq!(pairs, vec![(SessionId(2), 20)]);
+    }
+
+    #[test]
+    fn table_replace_keeps_live_count() {
+        let mut t: SessionTable<&str> = SessionTable::new();
+        t.insert(SessionId(1), "a");
+        t.insert(SessionId(1), "b");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(SessionId(1)), Some(&"b"));
+    }
+}

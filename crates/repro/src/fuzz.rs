@@ -3,7 +3,7 @@
 //! Each case is a random admission-valid [`Scenario`] restricted to the
 //! regime where the paper proves Leave-in-Time degenerates exactly: one
 //! admission class, `d = L/r`, no jitter control — there LiT **is**
-//! VirtualClock, packet for packet. Every case runs three ways:
+//! VirtualClock, packet for packet. Every case runs four ways:
 //!
 //! 1. `lit` on the heap event backend, conformance oracle counting —
 //!    zero violations expected (the oracle's per-hop and pathwise
@@ -11,7 +11,10 @@
 //! 2. `lit` on the calendar backend — the delivery log must be
 //!    bit-identical to run 1 (same `(seq, created, delivered,
 //!    ref_delay)` for every packet of every session);
-//! 3. `virtualclock` on the heap backend — also bit-identical to run 1.
+//! 3. `lit` on the timer-wheel backend with batched arrival dispatch —
+//!    also bit-identical to run 1 (one run exercising both hot-path
+//!    optimizations at once);
+//! 4. `virtualclock` on the heap backend — also bit-identical to run 1.
 //!
 //! Failures shrink greedily (drop sessions, halve the horizon) and are
 //! written as replayable `.scn` files via [`Scenario::to_text`], so
@@ -138,6 +141,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         backend: Some(EventBackend::Heap),
         stats,
         oracle: OracleMode::Count,
+        batch: false,
     });
     lit_heap.oracle_drain_check();
     let violations = lit_heap.oracle_violations();
@@ -152,15 +156,26 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         backend: Some(EventBackend::Calendar),
         stats,
         oracle: OracleMode::Off,
+        batch: false,
     });
     if snapshot(&calendar, &cal_ids) != base {
         return Err("calendar event backend diverges from heap".into());
+    }
+    let (wheel, wheel_ids) = sc.run_opts(&RunOptions {
+        backend: Some(EventBackend::Wheel),
+        stats,
+        oracle: OracleMode::Off,
+        batch: true,
+    });
+    if snapshot(&wheel, &wheel_ids) != base {
+        return Err("wheel backend with batched arrivals diverges from heap".into());
     }
     let vc = sc.with_discipline("virtualclock")?;
     let (vc_net, vc_ids) = vc.run_opts(&RunOptions {
         backend: Some(EventBackend::Heap),
         stats,
         oracle: OracleMode::Off,
+        batch: false,
     });
     if snapshot(&vc_net, &vc_ids) != base {
         return Err("virtualclock diverges from leave-in-time with d = L/r".into());
@@ -226,6 +241,7 @@ pub fn trace_arms(sc: &Scenario) -> Vec<(String, Vec<TraceEvent>)> {
     let mut arms: Vec<(String, Scenario, EventBackend)> = vec![
         ("lit-heap".into(), sc.clone(), EventBackend::Heap),
         ("lit-calendar".into(), sc.clone(), EventBackend::Calendar),
+        ("lit-wheel".into(), sc.clone(), EventBackend::Wheel),
     ];
     if let Ok(vc) = sc.with_discipline("virtualclock") {
         arms.push(("vc-heap".into(), vc, EventBackend::Heap));
@@ -237,6 +253,7 @@ pub fn trace_arms(sc: &Scenario) -> Vec<(String, Vec<TraceEvent>)> {
                     backend: Some(backend),
                     stats,
                     oracle: OracleMode::Off,
+                    batch: false,
                 },
                 Some(Box::new(ObsProbe::new(BUNDLE_TAIL))),
             );
@@ -384,7 +401,7 @@ mod tests {
         let why = check(&sc).expect_err("jc session must diverge from VirtualClock");
         assert!(why.contains("virtualclock"), "unexpected failure: {why}");
         let arms = trace_arms(&sc);
-        assert_eq!(arms.len(), 3, "all three arms traced");
+        assert_eq!(arms.len(), 4, "all four arms traced");
         assert!(arms.iter().all(|(_, evs)| !evs.is_empty()));
         let dir = std::env::temp_dir().join(format!("lit_fuzz_bundle_{}", std::process::id()));
         let path = write_trace_bundle(&dir, 0xDEAD, &arms);
@@ -398,7 +415,7 @@ mod tests {
             assert!(v.get("k").is_some(), "event kind present: {line}");
             assert!(v.get("t_ps").is_some(), "timestamp present: {line}");
         }
-        assert_eq!(arms_seen.len(), 3, "every arm contributes events");
+        assert_eq!(arms_seen.len(), 4, "every arm contributes events");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -413,6 +430,7 @@ mod tests {
                 backend: None,
                 stats: Some(fuzz_stats()),
                 oracle: OracleMode::Off,
+                batch: false,
             });
             for id in &ids {
                 let st = net.session_stats(*id);

@@ -23,8 +23,9 @@
 //! source through a token-bucket shaper). Sources: `onoff`, `poisson`,
 //! `cbr(gap,len[,offset])`, `burst(period,count,len)`.
 //!
-//! Further directives: `backend heap|calendar` selects the event-set
-//! implementation (default heap; both deliver identically). A parsed
+//! Further directives: `backend heap|calendar|wheel` selects the
+//! event-set implementation (default heap; all deliver identically). A
+//! parsed
 //! [`Scenario`] serializes back to text with [`Scenario::to_text`] — the
 //! differential fuzzer uses this to write minimized failures as
 //! replayable files.
@@ -178,6 +179,10 @@ pub struct RunOptions {
     /// Conformance-oracle mode; armed only when the discipline is `lit`
     /// with an exact eligible queue.
     pub oracle: OracleMode,
+    /// Enable batched arrival dispatch (see
+    /// [`NetworkBuilder::batch_arrivals`]); observably identical, and
+    /// ignored while a probe or the oracle is installed.
+    pub batch: bool,
 }
 
 /// Split `key=value` (value may be absent for flags).
@@ -316,6 +321,7 @@ impl Scenario {
                     backend = match name {
                         "heap" => EventBackend::Heap,
                         "calendar" => EventBackend::Calendar,
+                        "wheel" => EventBackend::Wheel,
                         other => return Err(err(ln, format!("unknown backend '{other}'"))),
                     };
                 }
@@ -499,7 +505,8 @@ impl Scenario {
         let mut b = NetworkBuilder::new()
             .seed(self.seed)
             .queue_kind(self.queue)
-            .event_backend(opts.backend.unwrap_or(self.backend));
+            .event_backend(opts.backend.unwrap_or(self.backend))
+            .batch_arrivals(opts.batch);
         // The oracle's invariants are Leave-in-Time's, checked against an
         // exact deadline queue; other disciplines and the bucketed
         // ablation queue run unchecked.
@@ -633,6 +640,8 @@ impl Scenario {
         }
         if self.backend == EventBackend::Calendar {
             let _ = writeln!(out, "backend calendar");
+        } else if self.backend == EventBackend::Wheel {
+            let _ = writeln!(out, "backend wheel");
         }
         let _ = writeln!(out, "seed {}", self.seed);
         for s in &self.sessions {

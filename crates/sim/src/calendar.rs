@@ -331,6 +331,33 @@ impl<T> CalendarQueue<T> {
         m.map(|m| m.key)
     }
 
+    /// The smallest-key entry (key and a borrow of its item), without
+    /// removing it. Shares the cached position with `peek_key`/`pop`.
+    pub fn peek(&self) -> Option<(u128, &T)> {
+        let pos = match self.hint.get() {
+            Some(h) => h,
+            None => {
+                let m = self.find_min()?;
+                self.hint.set(Some(m));
+                m
+            }
+        };
+        match pos.loc {
+            MinLoc::Ring(idx) => {
+                let s = self.buckets.get(idx).and_then(|b| b.front())?;
+                debug_assert_eq!((s.key, s.seq), (pos.key, pos.seq));
+                Some((s.key, &s.item))
+            }
+            // The heap root IS the hinted entry: find_min compared the
+            // ring winner against ov_min, the mirror of the heap's root.
+            MinLoc::Overflow => {
+                let e = self.overflow.peek()?;
+                debug_assert_eq!((e.key, e.seq), (pos.key, pos.seq));
+                Some((e.key, &e.item))
+            }
+        }
+    }
+
     /// Remove and return the smallest-key entry (FIFO among equal keys).
     pub fn pop(&mut self) -> Option<(u128, T)> {
         let pos = match self.hint.take() {

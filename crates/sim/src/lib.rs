@@ -9,7 +9,7 @@
 //! * [`EventQueue`] — the future-event set, FIFO-stable among same-time
 //!   events so runs are bit-reproducible, with a pluggable engine
 //!   ([`EventBackend`]): binary heap by default, amortized-O(1)
-//!   [`CalendarQueue`] ring opt-in;
+//!   [`CalendarQueue`] ring or hierarchical [`TimerWheel`] opt-in;
 //! * [`KeyedEntry`] — the shared reversed-`Ord` entry for FIFO-stable
 //!   min-heaps throughout the workspace;
 //! * [`SimRng`] / [`SeedSeq`] — per-component reproducible random streams.
@@ -26,9 +26,11 @@ mod entry;
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
 pub use calendar::CalendarQueue;
 pub use entry::KeyedEntry;
 pub use queue::{EventBackend, EventQueue};
 pub use rng::{SeedSeq, SimRng};
 pub use time::{Duration, Time, PS_PER_MS, PS_PER_NS, PS_PER_SEC, PS_PER_US};
+pub use wheel::TimerWheel;

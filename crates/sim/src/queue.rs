@@ -17,6 +17,7 @@
 use crate::calendar::CalendarQueue;
 use crate::entry::KeyedEntry;
 use crate::time::Time;
+use crate::wheel::TimerWheel;
 use std::collections::BinaryHeap;
 
 /// Which engine an [`EventQueue`] runs on.
@@ -28,11 +29,15 @@ pub enum EventBackend {
     Heap,
     /// Ring-array calendar queue: amortized O(1) per op, same pop order.
     Calendar,
+    /// Hierarchical timer wheel: amortized O(1) per op at any horizon,
+    /// same pop order. No width estimation or rebuild heuristics.
+    Wheel,
 }
 
 enum Inner<E> {
     Heap(BinaryHeap<KeyedEntry<Time, E>>),
     Calendar(CalendarQueue<E>),
+    Wheel(TimerWheel<E>),
 }
 
 /// The future-event set of a discrete-event simulation.
@@ -84,6 +89,7 @@ impl<E> EventQueue<E> {
             inner: match backend {
                 EventBackend::Heap => Inner::Heap(BinaryHeap::new()),
                 EventBackend::Calendar => Inner::Calendar(CalendarQueue::new()),
+                EventBackend::Wheel => Inner::Wheel(TimerWheel::new()),
             },
             next_seq: 0,
         }
@@ -101,6 +107,7 @@ impl<E> EventQueue<E> {
             inner: match backend {
                 EventBackend::Heap => Inner::Heap(BinaryHeap::with_capacity(cap)),
                 EventBackend::Calendar => Inner::Calendar(CalendarQueue::with_capacity(cap)),
+                EventBackend::Wheel => Inner::Wheel(TimerWheel::with_capacity(cap)),
             },
             next_seq: 0,
         }
@@ -111,6 +118,7 @@ impl<E> EventQueue<E> {
         match self.inner {
             Inner::Heap(_) => EventBackend::Heap,
             Inner::Calendar(_) => EventBackend::Calendar,
+            Inner::Wheel(_) => EventBackend::Wheel,
         }
     }
 
@@ -128,9 +136,11 @@ impl<E> EventQueue<E> {
                 seq,
                 item: event,
             }),
-            // The calendar keeps its own monotone seq, incremented once
-            // per push just like ours, so FIFO order matches the heap's.
+            // The calendar and the wheel keep their own monotone seq,
+            // incremented once per push just like ours, so FIFO order
+            // matches the heap's.
             Inner::Calendar(c) => c.push(at.as_ps() as u128, event),
+            Inner::Wheel(w) => w.push(at.as_ps(), event),
         }
     }
 
@@ -140,6 +150,33 @@ impl<E> EventQueue<E> {
             Inner::Heap(h) => h.pop().map(|e| (e.key, e.item)),
             // lit-lint: allow(raw-time-arithmetic, "calendar keys are as_ps() values widened to u128 at push; the narrowing is a lossless roundtrip")
             Inner::Calendar(c) => c.pop().map(|(k, e)| (Time::from_ps(k as u64), e)),
+            Inner::Wheel(w) => w.pop().map(|(k, e)| (Time::from_ps(k), e)),
+        }
+    }
+
+    /// Remove and return the earliest event only if `pred` accepts it.
+    ///
+    /// The predicate sees the event's due time and a borrow of its
+    /// payload; when it returns `false` (or the queue is empty) nothing is
+    /// removed. This is the executor's batching primitive: it drains runs
+    /// of same-instant, same-target events without a speculative pop that
+    /// would have to be pushed back (disturbing FIFO seq order).
+    pub fn pop_if<F>(&mut self, pred: F) -> Option<(Time, E)>
+    where
+        F: FnOnce(Time, &E) -> bool,
+    {
+        let take = match &self.inner {
+            Inner::Heap(h) => h.peek().map(|e| pred(e.key, &e.item)),
+            // lit-lint: allow(raw-time-arithmetic, "calendar keys are as_ps() values widened to u128 at push; the narrowing is a lossless roundtrip")
+            Inner::Calendar(c) => c.peek().map(|(k, e)| pred(Time::from_ps(k as u64), e)),
+            Inner::Wheel(w) => w.peek().map(|(k, e)| pred(Time::from_ps(k), e)),
+        };
+        // The peek above caches the min position (calendar/wheel hints),
+        // so the pop that follows does not re-scan.
+        if take == Some(true) {
+            self.pop()
+        } else {
+            None
         }
     }
 
@@ -149,6 +186,7 @@ impl<E> EventQueue<E> {
             Inner::Heap(h) => h.peek().map(|e| e.key),
             // lit-lint: allow(raw-time-arithmetic, "calendar keys are as_ps() values widened to u128 at push; the narrowing is a lossless roundtrip")
             Inner::Calendar(c) => c.peek_key().map(|k| Time::from_ps(k as u64)),
+            Inner::Wheel(w) => w.peek_key().map(Time::from_ps),
         }
     }
 
@@ -157,6 +195,7 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Inner::Heap(h) => h.len(),
             Inner::Calendar(c) => c.len(),
+            Inner::Wheel(w) => w.len(),
         }
     }
 
@@ -175,6 +214,7 @@ impl<E> EventQueue<E> {
         match &mut self.inner {
             Inner::Heap(h) => h.clear(),
             Inner::Calendar(c) => c.clear(),
+            Inner::Wheel(w) => w.clear(),
         }
     }
 }
@@ -184,7 +224,11 @@ mod tests {
     use super::*;
     use crate::time::Duration;
 
-    const BACKENDS: [EventBackend; 2] = [EventBackend::Heap, EventBackend::Calendar];
+    const BACKENDS: [EventBackend; 3] = [
+        EventBackend::Heap,
+        EventBackend::Calendar,
+        EventBackend::Wheel,
+    ];
 
     #[test]
     fn orders_by_time() {
@@ -257,6 +301,7 @@ mod tests {
     fn backends_agree_with_sentinels() {
         let mut heap = EventQueue::with_backend(EventBackend::Heap);
         let mut cal = EventQueue::with_backend(EventBackend::Calendar);
+        let mut wheel = EventQueue::with_backend(EventBackend::Wheel);
         let pushes = [
             Time::from_ms(5),
             Time::MAX,
@@ -268,11 +313,36 @@ mod tests {
         for (i, &t) in pushes.iter().enumerate() {
             heap.push(t, i);
             cal.push(t, i);
+            wheel.push(t, i);
         }
         for _ in 0..pushes.len() {
-            assert_eq!(heap.pop(), cal.pop());
+            let h = heap.pop();
+            assert_eq!(h, cal.pop());
+            assert_eq!(h, wheel.pop());
         }
         assert_eq!(heap.pop(), None);
         assert_eq!(cal.pop(), None);
+        assert_eq!(wheel.pop(), None);
+    }
+
+    #[test]
+    fn pop_if_takes_only_matching_front() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(Time::from_ms(1), "a");
+            q.push(Time::from_ms(1), "b");
+            q.push(Time::from_ms(2), "c");
+            // Front matches: removed.
+            assert_eq!(
+                q.pop_if(|t, e| t == Time::from_ms(1) && *e == "a"),
+                Some((Time::from_ms(1), "a"))
+            );
+            // Front is "b", predicate rejects: nothing removed.
+            assert_eq!(q.pop_if(|_, e| *e == "c"), None);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some((Time::from_ms(1), "b")));
+            assert_eq!(q.pop_if(|_, _| true), Some((Time::from_ms(2), "c")));
+            assert_eq!(q.pop_if(|_, _| true), None);
+        }
     }
 }

@@ -122,6 +122,78 @@ fn calendar_and_heap_backends_agree() {
 }
 
 #[test]
+fn wheel_agrees_with_heap_and_calendar() {
+    check("wheel_agrees_with_heap_and_calendar", |g| {
+        // Same contract as above for the hierarchical timer wheel: all
+        // three engines must pop the identical (time, payload) sequence,
+        // under FIFO ties and near-`Time::MAX` sentinels alike.
+        let ops = gen_backend_ops(g);
+        let mut heap = EventQueue::with_backend(EventBackend::Heap);
+        let mut cal = EventQueue::with_backend(EventBackend::Calendar);
+        let mut wheel = EventQueue::with_backend(EventBackend::Wheel);
+        let mut idx = 0u64;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    heap.push(t, idx);
+                    cal.push(t, idx);
+                    wheel.push(t, idx);
+                    idx += 1;
+                }
+                None => {
+                    let h = heap.pop();
+                    assert_eq!(h, cal.pop());
+                    assert_eq!(h, wheel.pop());
+                }
+            }
+            assert_eq!(heap.len(), wheel.len());
+            assert_eq!(heap.peek_time(), wheel.peek_time());
+        }
+        while !heap.is_empty() {
+            let h = heap.pop();
+            assert_eq!(h, cal.pop());
+            assert_eq!(h, wheel.pop());
+        }
+        assert_eq!(wheel.pop(), None);
+    });
+}
+
+#[test]
+fn wheel_horizon_edge_cases() {
+    check("wheel_horizon_edge_cases", |g| {
+        // Cascades across every wheel level: pairs of keys straddling the
+        // top of the key space, plus a dense tie cluster near the cursor.
+        // The wheel must release them in exact (time, seq) order even when
+        // the cursor has to jump from ~0 to within a few ps of u64::MAX.
+        let mut wheel = EventQueue::with_backend(EventBackend::Wheel);
+        let mut heap = EventQueue::with_backend(EventBackend::Heap);
+        let near = g.below(64);
+        let sentinels = [
+            Time::from_ps(u64::MAX),
+            Time::from_ps(u64::MAX - g.below(4)),
+            Time::from_ps(u64::MAX - 64),
+            Time::from_ps((u64::MAX >> 1) + g.below(1024)),
+        ];
+        let mut idx = 0u64;
+        for &t in &sentinels {
+            wheel.push(t, idx);
+            heap.push(t, idx);
+            idx += 1;
+        }
+        for _ in 0..g.size(1, 64) {
+            let t = Time::from_ps(near + g.below(8));
+            wheel.push(t, idx);
+            heap.push(t, idx);
+            idx += 1;
+        }
+        while !heap.is_empty() {
+            assert_eq!(wheel.pop(), heap.pop());
+        }
+        assert_eq!(wheel.pop(), None);
+    });
+}
+
+#[test]
 fn duration_rate_roundtrip() {
     check("duration_rate_roundtrip", |g| {
         let bits = g.range(1, 10_000_000);
