@@ -19,7 +19,16 @@
 //!
 //! Class indices are **0-based** in this API; the paper's class `k`
 //! is `classes[k-1]`.
+//!
+//! [`Ac3Admission`] is the *exact oracle*: a literal subset enumeration,
+//! kept deliberately simple so the fast path in [`fast`] can be
+//! differentially pinned against it (`tests/diff_ac3.rs`). Production
+//! call setup goes through [`Ac3Service`], which selects a backend via
+//! [`Ac3Backend`] and hands out uniform teardown handles.
 
+pub mod fast;
+
+use fast::{Ac3Fast, Ac3FastError, Ac3Handle};
 use lit_net::DelayAssignment;
 use lit_sim::{Duration, PS_PER_SEC};
 
@@ -423,6 +432,9 @@ impl std::error::Error for Ac3Error {}
 pub struct Ac3Admission {
     link_bps: u64,
     sessions: Vec<Ac3Session>,
+    /// Running `Σ r` over `sessions`, maintained by admit/release so the
+    /// test-(18) check is `O(1)` instead of re-summing `O(n)` per admit.
+    admitted_rate_bps: u64,
 }
 
 impl Ac3Admission {
@@ -435,6 +447,7 @@ impl Ac3Admission {
         Ac3Admission {
             link_bps,
             sessions: Vec::new(),
+            admitted_rate_bps: 0,
         }
     }
 
@@ -448,9 +461,9 @@ impl Ac3Admission {
         self.sessions.is_empty()
     }
 
-    /// Total reserved rate.
+    /// Total reserved rate (cached; `O(1)`).
     pub fn admitted_rate_bps(&self) -> u64 {
-        self.sessions.iter().map(|s| s.rate_bps).sum()
+        self.admitted_rate_bps
     }
 
     /// Ineq. (19) for one subset, exactly:
@@ -484,7 +497,12 @@ impl Ac3Admission {
         if self.sessions.len() >= Self::MAX_SESSIONS {
             return Err(Ac3Error::TooManySessions);
         }
-        if self.admitted_rate_bps() + rate_bps > self.link_bps {
+        // Checked: near-`u64::MAX` rate requests must reject, not wrap
+        // past the capacity test.
+        let Some(total_rate) = self.admitted_rate_bps.checked_add(rate_bps) else {
+            return Err(Ac3Error::RateExceeded);
+        };
+        if total_rate > self.link_bps {
             return Err(Ac3Error::RateExceeded);
         }
         let candidate = Ac3Session {
@@ -499,7 +517,205 @@ impl Ac3Admission {
             }
         }
         self.sessions.push(candidate);
+        self.admitted_rate_bps = total_rate;
         Ok(DelayAssignment::Fixed(d))
+    }
+
+    /// Tear down the session at `index` (0-based admission order),
+    /// returning its reserved rate to the pool. The *last* admitted
+    /// session moves into the freed index (`swap_remove`), which callers
+    /// tracking indices — like [`Ac3Service`] — must account for. Returns
+    /// `false` (and changes nothing) if `index` is out of range.
+    ///
+    /// Removing a session only shrinks every subset sum, so no re-check
+    /// of ineq. (19) is needed: all remaining subsets stay feasible.
+    pub fn release(&mut self, index: usize) -> bool {
+        if index >= self.sessions.len() {
+            return false;
+        }
+        let s = self.sessions.swap_remove(index);
+        self.admitted_rate_bps -= s.rate_bps;
+        true
+    }
+}
+
+/// Which procedure-3 implementation an [`Ac3Service`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Ac3Backend {
+    /// The literal `2^n` subset enumeration ([`Ac3Admission`]) — the
+    /// oracle; capped at [`Ac3Admission::MAX_SESSIONS`] sessions.
+    Exact,
+    /// The incremental class-aggregated test ([`Ac3Fast`]) — unbounded
+    /// session count, decision cost independent of residency.
+    #[default]
+    Fast,
+}
+
+impl std::str::FromStr for Ac3Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(Ac3Backend::Exact),
+            "fast" => Ok(Ac3Backend::Fast),
+            other => Err(format!("unknown AC3 backend {other:?} (want exact|fast)")),
+        }
+    }
+}
+
+/// Rejections from [`Ac3Service`], tagged by backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ac3ServiceError {
+    /// The exact enumerator rejected.
+    Exact(Ac3Error),
+    /// The fast service rejected.
+    Fast(Ac3FastError),
+}
+
+impl std::fmt::Display for Ac3ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ac3ServiceError::Exact(e) => write!(f, "{e}"),
+            Ac3ServiceError::Fast(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Ac3ServiceError {}
+
+/// Backend-agnostic procedure-3 admission with uniform teardown handles.
+///
+/// Both backends answer the same feasibility question (the differential
+/// suite pins them to each other); this wrapper lets call-setup code —
+/// `lit-repro`'s scenario establishment, the storm benchmark — switch
+/// between them with a flag. Handles stay valid across arbitrary churn:
+/// the exact backend's index motion under `swap_remove` is tracked
+/// internally.
+#[derive(Clone, Debug)]
+pub struct Ac3Service {
+    inner: ServiceInner,
+}
+
+#[derive(Clone, Debug)]
+enum ServiceInner {
+    Exact {
+        ac: Ac3Admission,
+        /// Handle id → current session index.
+        index_of: std::collections::HashMap<u64, usize>,
+        /// Current session index → handle id (admission-order mirror).
+        handle_at: Vec<u64>,
+        next_id: u64,
+    },
+    Fast(Ac3Fast),
+}
+
+/// A teardown handle from [`Ac3Service::try_admit`]. Single-use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Ac3ServiceHandle(u64);
+
+impl Ac3Service {
+    /// Admission state for a link of capacity `C` bit/s.
+    pub fn new(backend: Ac3Backend, link_bps: u64) -> Self {
+        let inner = match backend {
+            Ac3Backend::Exact => ServiceInner::Exact {
+                ac: Ac3Admission::new(link_bps),
+                index_of: std::collections::HashMap::new(),
+                handle_at: Vec::new(),
+                next_id: 0,
+            },
+            Ac3Backend::Fast => ServiceInner::Fast(Ac3Fast::new(link_bps)),
+        };
+        Ac3Service { inner }
+    }
+
+    /// Which backend this service runs.
+    pub fn backend(&self) -> Ac3Backend {
+        match &self.inner {
+            ServiceInner::Exact { .. } => Ac3Backend::Exact,
+            ServiceInner::Fast(_) => Ac3Backend::Fast,
+        }
+    }
+
+    /// Number of admitted sessions.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            ServiceInner::Exact { ac, .. } => ac.len(),
+            ServiceInner::Fast(ac) => ac.len() as usize,
+        }
+    }
+
+    /// Whether no session is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total reserved rate.
+    pub fn admitted_rate_bps(&self) -> u64 {
+        match &self.inner {
+            ServiceInner::Exact { ac, .. } => ac.admitted_rate_bps(),
+            ServiceInner::Fast(ac) => ac.admitted_rate_bps(),
+        }
+    }
+
+    /// Try to admit a session; on success returns a teardown handle and
+    /// the granted (fixed) delay assignment.
+    pub fn try_admit(
+        &mut self,
+        rate_bps: u64,
+        max_len_bits: u32,
+        d: Duration,
+    ) -> Result<(Ac3ServiceHandle, DelayAssignment), Ac3ServiceError> {
+        match &mut self.inner {
+            ServiceInner::Exact {
+                ac,
+                index_of,
+                handle_at,
+                next_id,
+            } => {
+                let granted = ac
+                    .try_admit(rate_bps, max_len_bits, d)
+                    .map_err(Ac3ServiceError::Exact)?;
+                let id = *next_id;
+                *next_id += 1;
+                index_of.insert(id, handle_at.len());
+                handle_at.push(id);
+                Ok((Ac3ServiceHandle(id), granted))
+            }
+            ServiceInner::Fast(ac) => {
+                let (h, granted) = ac
+                    .try_admit(rate_bps, max_len_bits, d)
+                    .map_err(Ac3ServiceError::Fast)?;
+                Ok((Ac3ServiceHandle(h.to_bits()), granted))
+            }
+        }
+    }
+
+    /// Tear down a previously admitted session. `false` if the handle is
+    /// stale or unknown (state unchanged).
+    pub fn release(&mut self, handle: Ac3ServiceHandle) -> bool {
+        match &mut self.inner {
+            ServiceInner::Exact {
+                ac,
+                index_of,
+                handle_at,
+                ..
+            } => {
+                let Some(index) = index_of.remove(&handle.0) else {
+                    return false;
+                };
+                let released = ac.release(index);
+                debug_assert!(released, "service index desynced from Ac3Admission");
+                // Mirror the enumerator's swap_remove in the handle maps.
+                let moved = handle_at.swap_remove(index);
+                if index < handle_at.len() {
+                    debug_assert_eq!(moved, handle.0);
+                    let resident = handle_at[index];
+                    index_of.insert(resident, index);
+                }
+                released
+            }
+            ServiceInner::Fast(ac) => ac.release(Ac3Handle::from_bits(handle.0)),
+        }
     }
 }
 
@@ -822,5 +1038,88 @@ mod tests {
             ac.try_admit(100, 424, Duration::ZERO).unwrap_err(),
             Ac3Error::ZeroParameter
         );
+    }
+
+    #[test]
+    fn ac3_release_restores_feasibility_and_rate() {
+        // Admit a session whose aggressive d strands the rest of the
+        // link; a second identical request must fail, succeed again after
+        // release, and the cached rate sum must track exactly.
+        let mut ac = Ac3Admission::new(1_536_000);
+        ac.try_admit(768_000, 424, Duration::from_us(300)).unwrap();
+        assert_eq!(ac.admitted_rate_bps(), 768_000);
+        assert!(ac.try_admit(768_000, 424, Duration::from_us(300)).is_err());
+        assert!(ac.release(0));
+        assert_eq!(ac.admitted_rate_bps(), 0);
+        assert!(ac.is_empty());
+        assert!(ac.try_admit(768_000, 424, Duration::from_us(300)).is_ok());
+        assert_eq!(ac.admitted_rate_bps(), 768_000);
+        // Out-of-range release is a no-op.
+        assert!(!ac.release(5));
+        assert_eq!(ac.len(), 1);
+    }
+
+    #[test]
+    fn ac3_release_swap_remove_keeps_rate_consistent() {
+        let mut ac = Ac3Admission::new(1_000_000);
+        let d = Duration::from_ms(50);
+        ac.try_admit(100_000, 424, d).unwrap();
+        ac.try_admit(200_000, 424, d).unwrap();
+        ac.try_admit(300_000, 424, d).unwrap();
+        // Releasing the middle session swaps the last into its place.
+        assert!(ac.release(1));
+        assert_eq!(ac.admitted_rate_bps(), 400_000);
+        assert!(ac.release(1)); // the former index-2 session
+        assert_eq!(ac.admitted_rate_bps(), 100_000);
+        assert!(ac.release(0));
+        assert_eq!(ac.admitted_rate_bps(), 0);
+    }
+
+    #[test]
+    fn ac3_rate_overflow_rejected_not_wrapped() {
+        // Regression: `admitted + rate` used to be an unchecked u64 add,
+        // so a near-MAX request wrapped past the capacity test. L = 1 bit
+        // and d = 1 ps keep the subset products inside u128.
+        let mut ac = Ac3Admission::new(u64::MAX);
+        ac.try_admit(u64::MAX - 1, 1, Duration::from_ps(1)).unwrap();
+        assert_eq!(
+            ac.try_admit(u64::MAX - 1, 1, Duration::from_ps(1))
+                .unwrap_err(),
+            Ac3Error::RateExceeded
+        );
+        assert_eq!(ac.admitted_rate_bps(), u64::MAX - 1);
+        assert_eq!(ac.len(), 1);
+    }
+
+    // ---- Ac3Service (backend selection + uniform handles) ----
+
+    #[test]
+    fn service_backends_agree_on_simple_churn() {
+        let mk = |b| Ac3Service::new(b, 1_536_000);
+        for backend in [Ac3Backend::Exact, Ac3Backend::Fast] {
+            let mut svc = mk(backend);
+            assert_eq!(svc.backend(), backend);
+            let d = Duration::from_ms(20);
+            let (h1, a1) = svc.try_admit(500_000, 424, d).unwrap();
+            assert_eq!(a1, DelayAssignment::Fixed(d));
+            let (h2, _) = svc.try_admit(400_000, 424, d).unwrap();
+            let (h3, _) = svc.try_admit(300_000, 424, d).unwrap();
+            assert_eq!(svc.admitted_rate_bps(), 1_200_000, "{backend:?}");
+            // Release out of order; handles must stay valid.
+            assert!(svc.release(h2));
+            assert_eq!(svc.admitted_rate_bps(), 800_000, "{backend:?}");
+            assert!(svc.release(h1));
+            assert!(!svc.release(h1), "double release on {backend:?}");
+            assert!(svc.release(h3));
+            assert!(svc.is_empty(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!("exact".parse::<Ac3Backend>().unwrap(), Ac3Backend::Exact);
+        assert_eq!("fast".parse::<Ac3Backend>().unwrap(), Ac3Backend::Fast);
+        assert!("pgps".parse::<Ac3Backend>().is_err());
+        assert_eq!(Ac3Backend::default(), Ac3Backend::Fast);
     }
 }

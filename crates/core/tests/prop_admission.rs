@@ -89,6 +89,57 @@ fn accepted_state_always_satisfies_the_tests() {
     });
 }
 
+/// Churn: arbitrary admit/release interleavings on [`ClassedAdmission`]
+/// (both procedures × both `DRule`s) keep `admitted_rate_bps` equal to
+/// the shadow sum of live sessions at every step, return it exactly to
+/// zero after a full drain, and never underflow the per-class
+/// accounting (an underflow panics inside `release`, failing the test).
+#[test]
+fn classed_admission_churn_conserves_rate() {
+    check("classed_admission_churn_conserves_rate", |g| {
+        let classes = gen_classes(g);
+        let p = classes.len();
+        let procedure = *g.pick(&[Procedure::Proc1, Procedure::Proc2]);
+        let rule = *g.pick(&[DRule::PerPacket, DRule::PerSessionMax]);
+        let mut ac = ClassedAdmission::new(procedure, 10_000_000, classes).unwrap();
+        let mut live: Vec<(usize, SessionRequest)> = Vec::new();
+        let mut shadow = 0u64;
+        let mut first_accept: Option<(usize, SessionRequest)> = None;
+        let steps = g.size(1, 60);
+        for _ in 0..steps {
+            let admit = live.is_empty() || g.weighted(&[2, 1]) == 0;
+            if admit {
+                let class = g.below(p as u64) as usize;
+                let req =
+                    SessionRequest::new(g.range(10_000, 2_000_000), g.range(100, 2_000) as u32);
+                if ac.try_admit(class, &req, rule).is_ok() {
+                    shadow += req.rate_bps;
+                    live.push((class, req));
+                    first_accept.get_or_insert((class, req));
+                }
+            } else {
+                let (class, req) = live.swap_remove(g.below(live.len() as u64) as usize);
+                ac.release(class, &req);
+                shadow -= req.rate_bps;
+            }
+            assert_eq!(ac.admitted_rate_bps(), shadow, "rate accounting drifted");
+        }
+        // Full drain: the server returns exactly to zero committed rate...
+        for (class, req) in live.drain(..) {
+            ac.release(class, &req);
+        }
+        assert_eq!(ac.admitted_rate_bps(), 0, "drain left residual rate");
+        // ...and to full capacity: anything it ever accepted is
+        // acceptable again on the emptied server.
+        if let Some((class, req)) = first_accept {
+            assert!(
+                ac.try_admit(class, &req, rule).is_ok(),
+                "emptied server rejects a previously accepted request"
+            );
+        }
+    });
+}
+
 /// The granted d is always at least the class's structural minimum
 /// and increases (weakly) with the class index.
 #[test]

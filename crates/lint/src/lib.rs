@@ -63,6 +63,7 @@ impl Default for Config {
                 "crates/sim/src/wheel.rs",
                 "crates/core/src/discipline.rs",
                 "crates/core/src/refserver.rs",
+                "crates/core/src/admission/fast.rs",
                 "crates/obs/src/probe.rs",
             ]
             .map(String::from)

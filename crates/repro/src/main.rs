@@ -27,6 +27,7 @@
 
 #![forbid(unsafe_code)]
 
+use lit_core::Ac3Backend;
 use lit_net::OracleMode;
 use lit_repro::experiments::{
     ablation, fig14_17, fig7, fig8, fig9_11, firewall, heavytail, tables, RunConfig,
@@ -47,13 +48,18 @@ struct Args {
     /// `--trace FILE`: write the pooled packet-lifecycle trace here
     /// (Chrome `trace_event` JSON; `.jsonl` extension selects JSONL).
     trace: Option<PathBuf>,
+    /// `--ac3 exact|fast`: vet scenario sessions through per-node
+    /// procedure-3 admission before running, dropping rejected sessions.
+    ac3: Option<Ac3Backend>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] \
-         [--oracle off|count|panic] [--metrics FILE] [--trace FILE] \
-         <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>"
+         [--oracle off|count|panic] [--metrics FILE] [--trace FILE] [--ac3 exact|fast] \
+         <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>\n\
+         --ac3 applies to `scenario`: establishment is vetted per node by procedure 3 \
+         (the exact enumerator or the incremental fast service) and rejected sessions are dropped"
     );
     std::process::exit(2);
 }
@@ -69,6 +75,7 @@ fn parse_args() -> Args {
     let mut extra = Vec::new();
     let mut metrics = None;
     let mut trace = None;
+    let mut ac3 = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
@@ -85,6 +92,13 @@ fn parse_args() -> Args {
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
             "--trace" => trace = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--ac3" => {
+                ac3 = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<Ac3Backend>().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             "--oracle" => {
                 let mode = it
                     .next()
@@ -125,7 +139,31 @@ fn parse_args() -> Args {
         extra,
         metrics,
         trace,
+        ac3,
     }
+}
+
+/// Vet a parsed scenario through per-node AC3 (`--ac3`): print one
+/// verdict per session line and return the scenario with the rejected
+/// sessions dropped, or `None` if nothing was admitted.
+fn vet_scenario(sc: &Scenario, backend: Ac3Backend) -> Option<Scenario> {
+    let verdicts = sc.ac3_vet(backend);
+    let keep: Vec<bool> = verdicts.iter().map(|v| v.is_ok()).collect();
+    for (i, v) in verdicts.iter().enumerate() {
+        match v {
+            Ok(()) => println!("ac3[{backend:?}]: session {i} admitted"),
+            Err(e) => println!("ac3[{backend:?}]: session {i} REJECTED ({e})"),
+        }
+    }
+    let admitted = keep.iter().filter(|&&k| k).count();
+    println!(
+        "ac3[{backend:?}]: {admitted}/{} session(s) admitted",
+        keep.len()
+    );
+    if admitted == 0 {
+        return None;
+    }
+    Some(sc.retain_sessions(&keep))
 }
 
 /// After the run: flush the pooled observability output to the paths the
@@ -285,6 +323,16 @@ fn main() -> ExitCode {
         let path = args.extra.first().cloned().unwrap_or_else(|| usage());
         return match Scenario::load(&path) {
             Ok(sc) => {
+                let sc = match args.ac3 {
+                    Some(backend) => match vet_scenario(&sc, backend) {
+                        Some(sc) => sc,
+                        None => {
+                            eprintln!("scenario: ac3 admitted no sessions");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => sc,
+                };
                 emit(&args.out, "scenario", &sc.run_report());
                 write_obs(&args);
                 oracle_verdict()

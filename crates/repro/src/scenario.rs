@@ -35,7 +35,9 @@ use lit_baselines::{
     EddDiscipline, FcfsDiscipline, HrrDiscipline, ScfqDiscipline, StopAndGoDiscipline,
     VirtualClockDiscipline, WfqDiscipline,
 };
-use lit_core::{install_oracle_bounds, LitDiscipline, PathBounds};
+use lit_core::{
+    install_oracle_bounds, Ac3Backend, Ac3Service, Ac3ServiceHandle, LitDiscipline, PathBounds,
+};
 use lit_net::{
     DelayAssignment, EventBackend, LinkParams, Network, NetworkBuilder, OracleConfig, OracleMode,
     QueueKind, SessionId, SessionSpec, StatsConfig,
@@ -592,6 +594,63 @@ impl Scenario {
         (net, ids)
     }
 
+    /// Vet every session line through per-node procedure-3 admission
+    /// (the CLI's `--ac3 exact|fast` flag), one [`Ac3Service`] per node
+    /// at the scenario's link rate. Returns one verdict per session in
+    /// definition order; a session admits only if every node on its
+    /// route accepts it (a mid-route rejection rolls back the hops
+    /// already granted, mirroring [`lit_core::ConnectionManager`]).
+    ///
+    /// The per-hop delay submitted is the session's `d=` option when
+    /// present, else the `L/r` default the run itself would use.
+    pub fn ac3_vet(&self, backend: Ac3Backend) -> Vec<Result<(), String>> {
+        let mut nodes: Vec<Ac3Service> = (0..self.nodes)
+            .map(|_| Ac3Service::new(backend, self.link.rate_bps))
+            .collect();
+        self.sessions
+            .iter()
+            .map(|s| {
+                let len = match s.source {
+                    SourceSpec::OnOff { len, .. }
+                    | SourceSpec::Poisson { len, .. }
+                    | SourceSpec::Cbr { len, .. }
+                    | SourceSpec::Burst { len, .. } => len,
+                };
+                let d =
+                    s.d.unwrap_or_else(|| Duration::from_bits_at_rate(len as u64, s.rate));
+                let mut granted: Vec<(usize, Ac3ServiceHandle)> = Vec::new();
+                for n in s.first..=s.last {
+                    match nodes[n].try_admit(s.rate, len, d) {
+                        Ok((h, _)) => granted.push((n, h)),
+                        Err(e) => {
+                            for (m, h) in granted.drain(..) {
+                                nodes[m].release(h);
+                            }
+                            return Err(format!("node {n}: {e}"));
+                        }
+                    }
+                }
+                Ok(())
+            })
+            .collect()
+    }
+
+    /// The same scenario keeping only sessions whose `keep` entry is
+    /// true (missing entries keep the session) — used to drop
+    /// AC3-rejected sessions before a run.
+    pub fn retain_sessions(&self, keep: &[bool]) -> Scenario {
+        Scenario {
+            sessions: self
+                .sessions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep.get(*i).copied().unwrap_or(true))
+                .map(|(_, s)| s.clone())
+                .collect(),
+            ..self.clone()
+        }
+    }
+
     /// The same scenario under another discipline (for differential runs).
     pub fn with_discipline(&self, name: &str) -> Result<Scenario, String> {
         Ok(Scenario {
@@ -1003,6 +1062,55 @@ run 10s
             ref other => panic!("session 1: want burst, got {other:?}"),
         }
         assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+    }
+
+    #[test]
+    fn ac3_vet_admits_feasible_and_drops_overload() {
+        // Two modest sessions fit node 0 of a T1; the third asks for a
+        // per-hop d below its L/C floor and must be rejected by ineq. 19
+        // — identically under both backends.
+        let text = "nodes 2 rate=1536000 prop=1ms lmax=424\n\
+                    session route=0..1 rate=32000 d=13.25ms source=cbr(gap=13.25ms,len=424)\n\
+                    session route=0..1 rate=32000 d=13.25ms source=cbr(gap=13.25ms,len=424)\n\
+                    session route=0..0 rate=64000 d=0.1ms source=cbr(gap=6.625ms,len=424)\n\
+                    run 1s";
+        let sc = Scenario::parse(text).unwrap();
+        for backend in [Ac3Backend::Exact, Ac3Backend::Fast] {
+            let verdicts = sc.ac3_vet(backend);
+            assert_eq!(verdicts.len(), 3);
+            assert!(verdicts[0].is_ok() && verdicts[1].is_ok(), "{backend:?}");
+            let err = verdicts[2].as_ref().unwrap_err();
+            assert!(err.starts_with("node 0:"), "{backend:?}: {err}");
+        }
+        // Dropping the rejected line leaves a runnable scenario.
+        let kept = sc.retain_sessions(&[true, true, false]);
+        assert_eq!(kept.sessions.len(), 2);
+        let (net, ids) = kept.run();
+        assert!(net.session_stats(ids[0]).delivered > 0);
+    }
+
+    #[test]
+    fn ac3_vet_rolls_back_mid_route_rejection() {
+        // Session 0 loads node 1 only; session 1 (route 0..1) clears
+        // node 0 but is refused at node 1, and its node-0 grant must be
+        // released so session 2 can still take node 0's full rate.
+        let text = "nodes 2 rate=1536000 prop=1ms lmax=424\n\
+                    session route=1..1 rate=1300000 d=1ms source=cbr(gap=1ms,len=424)\n\
+                    session route=0..1 rate=400000 d=1ms source=cbr(gap=1ms,len=424)\n\
+                    session route=0..0 rate=1536000 d=1ms source=cbr(gap=1ms,len=424)\n\
+                    run 1s";
+        let sc = Scenario::parse(text).unwrap();
+        for backend in [Ac3Backend::Exact, Ac3Backend::Fast] {
+            let verdicts = sc.ac3_vet(backend);
+            assert!(verdicts[0].is_ok(), "{backend:?}");
+            let err = verdicts[1].as_ref().unwrap_err();
+            assert!(err.starts_with("node 1:"), "{backend:?}: {err}");
+            assert!(
+                verdicts[2].is_ok(),
+                "{backend:?}: node 0 leaked the rolled-back grant: {:?}",
+                verdicts[2]
+            );
+        }
     }
 
     #[test]
