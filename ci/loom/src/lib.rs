@@ -1,4 +1,6 @@
-//! Loom models for the concurrent pieces of `lit-obs`.
+//! Loom models for the workspace's concurrent protocols: the `lit-obs`
+//! hub pool (below) and the sharded executor's barrier/mailbox window
+//! protocol (`shard_models`).
 //!
 //! The production hub (`lit_obs::hub`) pools per-worker `ObsShard`s into
 //! one `Mutex<ObsShard>` and claims the pooled result is independent of
@@ -81,6 +83,184 @@ mod models {
             );
             writer.join().unwrap();
             assert_eq!(pool.lock().unwrap().violation_total(), 1);
+        });
+    }
+}
+
+/// Loom models of the sharded executor's window protocol
+/// (`crates/net/src/shard.rs`): per-window barrier alignment, atomic
+/// `next_event_ps` publication, and the bounded-mailbox-plus-spill-lane
+/// handoff. Loom provides neither `std::sync::Barrier` nor
+/// `std::sync::mpsc`, so the model rebuilds both from loom's `Mutex`,
+/// `Condvar` and atomics with the *same* protocol rules the production
+/// code follows: sends happen strictly between barriers A and B, drains
+/// strictly after barrier B, spill only after the bounded lane fills,
+/// and the receiver empties the bounded lane before the spill lane.
+#[cfg(test)]
+mod shard_models {
+    use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use loom::sync::{Arc, Condvar, Mutex};
+    use loom::thread;
+    use std::collections::VecDeque;
+
+    /// `std::sync::Barrier` stand-in: generation-counted so reuse across
+    /// windows is safe under spurious wakeups.
+    struct Barrier {
+        state: Mutex<(usize, u64)>, // (arrived, generation)
+        cv: Condvar,
+        n: usize,
+    }
+
+    impl Barrier {
+        fn new(n: usize) -> Self {
+            Barrier {
+                state: Mutex::new((0, 0)),
+                cv: Condvar::new(),
+                n,
+            }
+        }
+
+        fn wait(&self) {
+            let mut g = self.state.lock().unwrap();
+            let gen = g.1;
+            g.0 += 1;
+            if g.0 == self.n {
+                g.0 = 0;
+                g.1 += 1;
+                self.cv.notify_all();
+            } else {
+                while g.1 == gen {
+                    g = self.cv.wait(g).unwrap();
+                }
+            }
+        }
+    }
+
+    /// `sync_channel(cap)` stand-in with the production spill rule: once
+    /// a `try_send` hits capacity, the rest of the window's handoffs go
+    /// to the spill lane, and the receiver drains channel-then-spill so
+    /// per-pair FIFO order survives the overflow.
+    struct Mailbox {
+        chan: Mutex<VecDeque<u64>>,
+        spill: Mutex<Vec<u64>>,
+        cap: usize,
+    }
+
+    impl Mailbox {
+        fn new(cap: usize) -> Self {
+            Mailbox {
+                chan: Mutex::new(VecDeque::new()),
+                spill: Mutex::new(Vec::new()),
+                cap,
+            }
+        }
+
+        /// Sender side; `spilling` is the sender-local per-window flag.
+        fn send(&self, v: u64, spilling: &mut bool) {
+            if !*spilling {
+                let mut c = self.chan.lock().unwrap();
+                if c.len() < self.cap {
+                    c.push_back(v);
+                    return;
+                }
+                *spilling = true;
+            }
+            self.spill.lock().unwrap().push(v);
+        }
+
+        /// Receiver side, called only after barrier B.
+        fn drain(&self) -> Vec<u64> {
+            let mut out: Vec<u64> = self.chan.lock().unwrap().drain(..).collect();
+            out.extend(self.spill.lock().unwrap().drain(..));
+            out
+        }
+    }
+
+    /// One full window round-trip between two shards: both publish their
+    /// next event time, agree on `tmin` from the same snapshot, the
+    /// sender overflows the mailbox into the spill lane, and after
+    /// barrier B the receiver sees every handoff in FIFO order. Checked
+    /// under every interleaving loom can schedule.
+    #[test]
+    fn window_handoff_is_fifo_and_tmin_agrees() {
+        loom::model(|| {
+            let barrier = Arc::new(Barrier::new(2));
+            let mailbox = Arc::new(Mailbox::new(2));
+            let next_ts = Arc::new([AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)]);
+
+            let sender = {
+                let (barrier, mailbox, next_ts) = (
+                    Arc::clone(&barrier),
+                    Arc::clone(&mailbox),
+                    Arc::clone(&next_ts),
+                );
+                thread::spawn(move || {
+                    next_ts[0].store(10, Ordering::SeqCst);
+                    barrier.wait(); // A
+                    let tmin = next_ts
+                        .iter()
+                        .map(|a| a.load(Ordering::SeqCst))
+                        .min()
+                        .unwrap();
+                    // Window body: 4 handoffs through a capacity-2 lane.
+                    let mut spilling = false;
+                    for v in 1..=4u64 {
+                        mailbox.send(v, &mut spilling);
+                    }
+                    assert!(spilling, "capacity 2 must overflow on 4 sends");
+                    barrier.wait(); // B
+                    tmin
+                })
+            };
+
+            next_ts[1].store(20, Ordering::SeqCst);
+            barrier.wait(); // A
+            let tmin = next_ts
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .min()
+                .unwrap();
+            barrier.wait(); // B
+            // Post-barrier drain: every pre-barrier send is visible, in
+            // order, channel contents ahead of spilled overflow.
+            assert_eq!(mailbox.drain(), vec![1, 2, 3, 4]);
+            let sender_tmin = sender.join().unwrap();
+            assert_eq!(tmin, 10, "receiver must see the sender's publication");
+            assert_eq!(sender_tmin, tmin, "shards disagree on the window floor");
+        });
+    }
+
+    /// The panic-trap rule: a shard that fails inside its window flags
+    /// the shared abort *before* barrier B, so the surviving shard
+    /// always observes the abort at its own post-B check and exits the
+    /// loop on the same aligned barrier — nobody is left parked.
+    #[test]
+    fn abort_flag_is_visible_after_barrier_b() {
+        loom::model(|| {
+            let barrier = Arc::new(Barrier::new(2));
+            let abort = Arc::new(AtomicBool::new(false));
+            let payload = Arc::new(Mutex::new(None::<&'static str>));
+
+            let failing = {
+                let (barrier, abort, payload) =
+                    (Arc::clone(&barrier), Arc::clone(&abort), Arc::clone(&payload));
+                thread::spawn(move || {
+                    barrier.wait(); // A
+                    // Window body panics: trap the payload, flag abort.
+                    payload.lock().unwrap().get_or_insert("boom");
+                    abort.store(true, Ordering::SeqCst);
+                    barrier.wait(); // B
+                })
+            };
+
+            barrier.wait(); // A
+            barrier.wait(); // B
+            assert!(
+                abort.load(Ordering::SeqCst),
+                "survivor missed the abort at its aligned exit"
+            );
+            failing.join().unwrap();
+            assert_eq!(*payload.lock().unwrap(), Some("boom"));
         });
     }
 }

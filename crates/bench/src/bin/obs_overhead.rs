@@ -133,6 +133,7 @@ fn time_arms(sc: &Scenario, reps: u32, trace_cap: usize) -> ArmSamples {
         stats: None,
         oracle: OracleMode::Off,
         batch: false,
+        shards: None,
     };
     let mut best = [u128::MAX; 3];
     let mut overhead: [Vec<f64>; 2] = [Vec::new(), Vec::new()];

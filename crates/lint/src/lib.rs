@@ -56,6 +56,8 @@ impl Default for Config {
         Config {
             hot_paths: [
                 "crates/net/src/network.rs",
+                "crates/net/src/shard.rs",
+                "crates/net/src/arena.rs",
                 "crates/net/src/equeue.rs",
                 "crates/net/src/table.rs",
                 "crates/sim/src/queue.rs",

@@ -45,7 +45,11 @@ impl ScheduleDecision {
 }
 
 /// A per-node packet scheduler.
-pub trait Discipline {
+///
+/// `Send` is a supertrait so the sharded executor can move each node's
+/// discipline onto its owning shard's worker thread; disciplines hold
+/// plain per-session scheduling state, never shared handles.
+pub trait Discipline: Send {
     /// Human-readable name for reports and traces.
     fn name(&self) -> &'static str;
 

@@ -20,7 +20,6 @@
 //! The `ablation-queue` command of `lit-repro` measures both the error and
 //! the cost on the paper's workloads.
 
-use crate::packet::Packet;
 use lit_sim::{CalendarQueue, Duration, KeyedEntry};
 use std::collections::BinaryHeap;
 
@@ -38,21 +37,23 @@ pub enum QueueKind {
     },
 }
 
-/// The eligible queue of one node.
-pub(crate) enum EligibleQueue {
+/// The eligible queue of one node, generic over the queued payload: the
+/// scalar executor stores packets by value, the sharded executor stores
+/// dense [`crate::PacketRef`] arena indices.
+pub(crate) enum EligibleQueue<T> {
     Exact {
-        heap: BinaryHeap<KeyedEntry<u128, Packet>>,
+        heap: BinaryHeap<KeyedEntry<u128, T>>,
         seq: u64,
     },
     Bucketed {
         bucket_ps: u128,
         /// Calendar ring keyed by `key / bucket_ps`; the ring's own push
         /// sequence keeps packets FIFO within a quantization bucket.
-        ring: CalendarQueue<Packet>,
+        ring: CalendarQueue<T>,
     },
 }
 
-impl EligibleQueue {
+impl<T> EligibleQueue<T> {
     pub(crate) fn new(kind: QueueKind) -> Self {
         match kind {
             QueueKind::Exact => EligibleQueue::Exact {
@@ -69,7 +70,7 @@ impl EligibleQueue {
         }
     }
 
-    pub(crate) fn push(&mut self, key: u128, pkt: Packet) {
+    pub(crate) fn push(&mut self, key: u128, pkt: T) {
         match self {
             EligibleQueue::Exact { heap, seq } => {
                 let s = *seq;
@@ -86,7 +87,7 @@ impl EligibleQueue {
         }
     }
 
-    pub(crate) fn pop(&mut self) -> Option<Packet> {
+    pub(crate) fn pop(&mut self) -> Option<T> {
         match self {
             EligibleQueue::Exact { heap, .. } => heap.pop().map(|e| e.item),
             EligibleQueue::Bucketed { ring, .. } => {
@@ -129,7 +130,7 @@ impl EligibleQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::SessionId;
+    use crate::packet::{Packet, SessionId};
     use lit_sim::Time;
 
     fn pkt(seq: u64) -> Packet {

@@ -36,15 +36,18 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod arena;
 mod discipline;
 mod equeue;
 mod network;
 pub mod oracle;
 mod packet;
+pub mod shard;
 mod spec;
 mod stats;
 mod table;
 
+pub use arena::{PacketArena, PacketRef};
 pub use discipline::{Discipline, DisciplineFactory, ScheduleDecision};
 pub use equeue::QueueKind;
 pub use lit_obs::{NoopProbe, ObsProbe, PacketView, Probe};

@@ -41,7 +41,7 @@ fn pview(pkt: &Packet) -> PacketView {
 struct NodeRt {
     link: LinkParams,
     discipline: Box<dyn Discipline>,
-    queue: EligibleQueue,
+    queue: EligibleQueue<Packet>,
     /// The packet currently being transmitted, if any.
     current: Option<Packet>,
 }
@@ -75,24 +75,25 @@ enum Event {
 }
 
 /// A session definition awaiting `build`.
-struct SessionDef {
-    spec: SessionSpec,
-    hops: Vec<(u32, DelayAssignment)>,
-    source: Box<dyn Source>,
+pub(crate) struct SessionDef {
+    pub(crate) spec: SessionSpec,
+    pub(crate) hops: Vec<(u32, DelayAssignment)>,
+    pub(crate) source: Box<dyn Source>,
 }
 
 /// Builds a [`Network`]: add nodes, add sessions on routes, then `build`
 /// with a discipline factory.
 pub struct NetworkBuilder {
-    links: Vec<LinkParams>,
-    sessions: Vec<SessionDef>,
-    stats_cfg: StatsConfig,
-    master_seed: u64,
-    queue_kind: QueueKind,
-    event_backend: EventBackend,
-    oracle: OracleConfig,
-    probe: Option<Box<dyn Probe>>,
-    batch_arrivals: bool,
+    pub(crate) links: Vec<LinkParams>,
+    pub(crate) sessions: Vec<SessionDef>,
+    pub(crate) stats_cfg: StatsConfig,
+    pub(crate) master_seed: u64,
+    pub(crate) queue_kind: QueueKind,
+    pub(crate) event_backend: EventBackend,
+    pub(crate) oracle: OracleConfig,
+    pub(crate) probe: Option<Box<dyn Probe>>,
+    pub(crate) batch_arrivals: bool,
+    pub(crate) shards: usize,
 }
 
 impl Default for NetworkBuilder {
@@ -114,7 +115,19 @@ impl NetworkBuilder {
             oracle: OracleConfig::off(),
             probe: None,
             batch_arrivals: false,
+            shards: 1,
         }
+    }
+
+    /// Partition the nodes across `n` shard workers, each running its own
+    /// event loop inside conservative lookahead windows (default: 1, the
+    /// scalar executor). Results are byte-identical for every shard
+    /// count. Falls back to the scalar executor when a probe is
+    /// installed, the oracle is in panic mode, or a cross-shard link has
+    /// zero propagation delay (no lookahead) — see [`crate::shard`].
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
     }
 
     /// Drain same-instant arrivals of one session at one node as a batch
@@ -224,8 +237,52 @@ impl NetworkBuilder {
     }
 
     /// Instantiate the network, creating one discipline per node and
-    /// registering every session at every node it traverses.
+    /// registering every session at every node it traverses. The engine
+    /// is scalar unless [`NetworkBuilder::shards`] asked for more than
+    /// one shard *and* sharding is admissible (see [`Self::shards`]).
     pub fn build(self, factory: &DisciplineFactory<'_>) -> Network {
+        let shards = self.effective_shards();
+        if shards > 1 {
+            Network {
+                inner: Engine::Sharded(Box::new(crate::shard::ShardedNet::build(
+                    self, factory, shards,
+                ))),
+            }
+        } else {
+            Network {
+                inner: Engine::Scalar(Box::new(self.build_scalar(factory))),
+            }
+        }
+    }
+
+    /// The shard count `build` will actually use: the requested count,
+    /// clamped to the node count, degraded to 1 (scalar) whenever the
+    /// sharded engine cannot reproduce scalar observability — a probe
+    /// hooks every dispatch in global order, panic-mode oracling must
+    /// stop at the *first* violation globally — or whenever a
+    /// cross-shard hop has zero propagation delay, which would make the
+    /// conservative lookahead window empty.
+    pub(crate) fn effective_shards(&self) -> usize {
+        let s = self.shards.min(self.links.len()).max(1);
+        if s <= 1 || self.probe.is_some() || self.oracle.mode == OracleMode::Panic {
+            return 1;
+        }
+        let owner = |node: usize| crate::shard::owner_of(node, self.links.len(), s);
+        for def in &self.sessions {
+            for w in def.hops.windows(2) {
+                // lit-lint: allow(no-panic-hot-path, "windows(2) yields exactly two elements")
+                let (a, b) = (w[0].0 as usize, w[1].0 as usize);
+                // lit-lint: allow(no-panic-hot-path, "route nodes index the builder's link table by construction")
+                if owner(a) != owner(b) && self.links[a].propagation == lit_sim::Duration::ZERO {
+                    return 1;
+                }
+            }
+        }
+        s
+    }
+
+    /// Instantiate the scalar (single-threaded) engine.
+    pub(crate) fn build_scalar(self, factory: &DisciplineFactory<'_>) -> ScalarNet {
         let mut nodes: Vec<NodeRt> = self
             .links
             .iter()
@@ -278,7 +335,7 @@ impl NetworkBuilder {
         let batch_arrivals =
             self.batch_arrivals && probe.is_none() && self.oracle.mode == OracleMode::Off;
 
-        Network {
+        ScalarNet {
             nodes,
             sessions,
             events,
@@ -294,9 +351,11 @@ impl NetworkBuilder {
     }
 }
 
-/// A running simulation: topology + sessions + future-event set +
-/// accumulated statistics.
-pub struct Network {
+/// The scalar (single-threaded) engine: topology + sessions +
+/// future-event set + accumulated statistics. Public API lives on the
+/// [`Network`] facade, which dispatches between this and the sharded
+/// engine.
+pub(crate) struct ScalarNet {
     nodes: Vec<NodeRt>,
     sessions: Vec<SessionRt>,
     events: EventQueue<Event>,
@@ -313,7 +372,7 @@ pub struct Network {
     batch_out: Vec<ScheduleDecision>,
 }
 
-impl Network {
+impl ScalarNet {
     /// Advance the simulation until no event at or before `until` remains.
     /// May be called repeatedly with growing horizons.
     pub fn run_until(&mut self, until: Time) {
@@ -773,7 +832,7 @@ impl Network {
     }
 }
 
-impl Network {
+impl ScalarNet {
     /// The outgoing-link parameters of a node.
     pub fn node_link(&self, id: NodeId) -> &LinkParams {
         // lit-lint: allow(no-panic-hot-path, "public accessor: panicking on an invalid id is the documented contract")
@@ -866,7 +925,7 @@ impl Network {
     }
 }
 
-impl Drop for Network {
+impl Drop for ScalarNet {
     fn drop(&mut self) {
         // Run the drain-time distribution check if the caller didn't.
         // Forced to counting mode: panicking in drop would abort, and the
@@ -885,6 +944,165 @@ impl Drop for Network {
             if let Some(p) = self.probe.as_deref_mut() {
                 p.finish(now);
             }
+        }
+    }
+}
+
+/// The engine behind the facade: one scalar event loop, or per-shard
+/// event loops coupled through conservative lookahead windows.
+enum Engine {
+    // Both engines inline multi-hundred-byte tables; boxing keeps the
+    // facade enum pointer-sized (clippy::large_enum_variant).
+    Scalar(Box<ScalarNet>),
+    Sharded(Box<crate::shard::ShardedNet>),
+}
+
+/// The network: topology + sessions + executor + accumulated statistics.
+///
+/// Dispatches between the scalar engine and the sharded engine (see
+/// [`NetworkBuilder::shards`]); both produce byte-identical statistics,
+/// traces and oracle counts, so callers never observe which one ran.
+pub struct Network {
+    inner: Engine,
+}
+
+impl Network {
+    /// Advance the simulation until no event at or before `until` remains.
+    /// May be called repeatedly with growing horizons.
+    pub fn run_until(&mut self, until: Time) {
+        match &mut self.inner {
+            Engine::Scalar(n) => n.run_until(until),
+            Engine::Sharded(n) => n.run_until(until),
+        }
+    }
+
+    /// Current simulation clock.
+    pub fn now(&self) -> Time {
+        match &self.inner {
+            Engine::Scalar(n) => n.now(),
+            Engine::Sharded(n) => n.now(),
+        }
+    }
+
+    /// Statistics of one session.
+    pub fn session_stats(&self, id: SessionId) -> &SessionStats {
+        match &self.inner {
+            Engine::Scalar(n) => n.session_stats(id),
+            Engine::Sharded(n) => n.session_stats(id),
+        }
+    }
+
+    /// Statistics of one node.
+    pub fn node_stats(&self, id: NodeId) -> &NodeStats {
+        match &self.inner {
+            Engine::Scalar(n) => n.node_stats(id),
+            Engine::Sharded(n) => n.node_stats(id),
+        }
+    }
+
+    /// The spec a session was registered with.
+    pub fn session_spec(&self, id: SessionId) -> &SessionSpec {
+        match &self.inner {
+            Engine::Scalar(n) => n.session_spec(id),
+            Engine::Sharded(n) => n.session_spec(id),
+        }
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        match &self.inner {
+            Engine::Scalar(n) => n.num_sessions(),
+            Engine::Sharded(n) => n.num_sessions(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        match &self.inner {
+            Engine::Scalar(n) => n.num_nodes(),
+            Engine::Sharded(n) => n.num_nodes(),
+        }
+    }
+
+    /// The per-hop delay assignments of a session (node index, assignment).
+    pub fn session_hops(&self, id: SessionId) -> &[(u32, DelayAssignment)] {
+        match &self.inner {
+            Engine::Scalar(n) => n.session_hops(id),
+            Engine::Sharded(n) => n.session_hops(id),
+        }
+    }
+
+    /// The outgoing-link parameters of a node.
+    pub fn node_link(&self, id: NodeId) -> &LinkParams {
+        match &self.inner {
+            Engine::Scalar(n) => n.node_link(id),
+            Engine::Sharded(n) => n.node_link(id),
+        }
+    }
+
+    /// Install the conformance-oracle bound constants for one session
+    /// (normally done for every session by
+    /// `lit_core::install_oracle_bounds`). No-op when the oracle is off.
+    pub fn set_session_bounds(&mut self, id: SessionId, bounds: SessionBounds) {
+        match &mut self.inner {
+            Engine::Scalar(n) => n.set_session_bounds(id, bounds),
+            Engine::Sharded(n) => n.set_session_bounds(id, bounds),
+        }
+    }
+
+    /// Total events ever pushed onto the future-event set (a proxy for
+    /// simulation work, used by the overhead-guard benchmark). Invariant
+    /// across shard counts: same workload, same count.
+    pub fn event_count(&self) -> u64 {
+        match &self.inner {
+            Engine::Scalar(n) => n.event_count(),
+            Engine::Sharded(n) => n.event_count(),
+        }
+    }
+
+    /// Remove the installed observability probe, finishing it first.
+    /// Always `None` on the sharded engine — a probe forces the scalar
+    /// engine at `build` (see [`NetworkBuilder::shards`]), so a sharded
+    /// network never holds one.
+    pub fn take_probe(&mut self) -> Option<Box<dyn Probe>> {
+        match &mut self.inner {
+            Engine::Scalar(n) => n.take_probe(),
+            Engine::Sharded(_) => None,
+        }
+    }
+
+    /// Total conformance-oracle violations recorded by this network.
+    pub fn oracle_violations(&self) -> u64 {
+        match &self.inner {
+            Engine::Scalar(n) => n.oracle_violations(),
+            Engine::Sharded(n) => n.oracle_violations(),
+        }
+    }
+
+    /// Violation counts by kind.
+    pub fn oracle_totals(&self) -> OracleTotals {
+        match &self.inner {
+            Engine::Scalar(n) => n.oracle_totals(),
+            Engine::Sharded(n) => n.oracle_totals(),
+        }
+    }
+
+    /// Drain-time check of ineq. 16 (see [`ScalarNet::oracle_drain_check`]
+    /// internally); returns the number of sessions that failed. Runs
+    /// automatically in counting mode on drop if not called explicitly.
+    pub fn oracle_drain_check(&mut self) -> u64 {
+        match &mut self.inner {
+            Engine::Scalar(n) => n.oracle_drain_check(),
+            Engine::Sharded(n) => n.oracle_drain_check(),
+        }
+    }
+
+    /// How many shard workers the built engine actually uses (1 for the
+    /// scalar engine, including every fallback case).
+    pub fn shard_count(&self) -> usize {
+        match &self.inner {
+            Engine::Scalar(_) => 1,
+            Engine::Sharded(n) => n.shard_count(),
         }
     }
 }

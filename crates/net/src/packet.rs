@@ -35,7 +35,11 @@ impl NodeId {
 /// scratch fields written by the discipline at arrival and read back at
 /// departure when it stamps `hold` for the next hop. Baseline disciplines
 /// that don't need them simply leave them at their defaults.
-#[derive(Clone, Debug)]
+///
+/// Every field is a scalar, so a packet is `Copy`: the sharded executor
+/// moves packets between [`crate::PacketArena`]s and across shard
+/// mailboxes by value, with no per-packet heap traffic.
+#[derive(Clone, Copy, Debug)]
 pub struct Packet {
     /// Owning session.
     pub session: SessionId,

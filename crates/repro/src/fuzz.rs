@@ -16,6 +16,14 @@
 //!    optimizations at once);
 //! 4. `virtualclock` on the heap backend — also bit-identical to run 1.
 //!
+//! Plus one sharded-executor pair: `lit` on 2 shards vs 7 shards (oracle
+//! counting on both) — delivery logs and violation counts must match
+//! *each other* exactly. The sharded engine orders same-instant events
+//! canonically rather than in heap-FIFO order, so it is compared against
+//! itself across shard counts (its own determinism contract) instead of
+//! against run 1, whose tie order random scenarios are allowed to
+//! differ in.
+//!
 //! Failures shrink greedily (drop sessions, halve the horizon) and are
 //! written as replayable `.scn` files via [`Scenario::to_text`], so
 //! `lit-repro scenario <file>` reproduces them directly.
@@ -142,6 +150,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         stats,
         oracle: OracleMode::Count,
         batch: false,
+        shards: None,
     });
     lit_heap.oracle_drain_check();
     let violations = lit_heap.oracle_violations();
@@ -157,6 +166,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         stats,
         oracle: OracleMode::Off,
         batch: false,
+        shards: None,
     });
     if snapshot(&calendar, &cal_ids) != base {
         return Err("calendar event backend diverges from heap".into());
@@ -166,6 +176,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         stats,
         oracle: OracleMode::Off,
         batch: true,
+        shards: None,
     });
     if snapshot(&wheel, &wheel_ids) != base {
         return Err("wheel backend with batched arrivals diverges from heap".into());
@@ -176,9 +187,40 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         stats,
         oracle: OracleMode::Off,
         batch: false,
+        shards: None,
     });
     if snapshot(&vc_net, &vc_ids) != base {
         return Err("virtualclock diverges from leave-in-time with d = L/r".into());
+    }
+    // Sharded-executor determinism: different shard counts must agree
+    // with each other packet for packet and violation for violation
+    // (falls back to scalar — still a valid identity — when the
+    // scenario's links have zero propagation).
+    let (mut sh2, sh2_ids) = sc.run_opts(&RunOptions {
+        backend: Some(EventBackend::Heap),
+        stats,
+        oracle: OracleMode::Count,
+        batch: false,
+        shards: Some(2),
+    });
+    let (mut sh7, sh7_ids) = sc.run_opts(&RunOptions {
+        backend: Some(EventBackend::Heap),
+        stats,
+        oracle: OracleMode::Count,
+        batch: false,
+        shards: Some(7),
+    });
+    sh2.oracle_drain_check();
+    sh7.oracle_drain_check();
+    if snapshot(&sh2, &sh2_ids) != snapshot(&sh7, &sh7_ids) {
+        return Err("sharded executor diverges between 2 and 7 shards".into());
+    }
+    if sh2.oracle_violations() != sh7.oracle_violations() {
+        return Err(format!(
+            "sharded oracle totals diverge: 2 shards {:?} vs 7 shards {:?}",
+            sh2.oracle_totals(),
+            sh7.oracle_totals()
+        ));
     }
     Ok(())
 }
@@ -254,6 +296,7 @@ pub fn trace_arms(sc: &Scenario) -> Vec<(String, Vec<TraceEvent>)> {
                     stats,
                     oracle: OracleMode::Off,
                     batch: false,
+                    shards: None,
                 },
                 Some(Box::new(ObsProbe::new(BUNDLE_TAIL))),
             );
@@ -431,6 +474,7 @@ mod tests {
                 stats: Some(fuzz_stats()),
                 oracle: OracleMode::Off,
                 batch: false,
+                shards: None,
             });
             for id in &ids {
                 let st = net.session_stats(*id);

@@ -1,7 +1,7 @@
 //! `lit-repro` — regenerate the paper's figures and tables.
 //!
 //! ```text
-//! lit-repro [--quick] [--seed N] [--threads N] [--replicas N] [--out DIR] <command>
+//! lit-repro [--quick] [--seed N] [--threads N] [--shards N] [--replicas N] [--out DIR] <command>
 //!
 //! commands:
 //!   fig7        max delay/jitter sweep, MIX ON-OFF, AC1/one class
@@ -22,7 +22,10 @@
 //! reproduces the paper's 5/10-minute horizons with a single replica.
 //! Independent runs (sweep points, disciplines, replicas) spread over
 //! `--threads N` workers (default: all cores); the thread count never
-//! changes results, only wall-clock time. Tables print to stdout and are
+//! changes results, only wall-clock time. `--shards N` splits every
+//! network *within* one run across N per-core shard executors (default:
+//! 1, the scalar engine) — likewise byte-identical results for any
+//! value; see `lit_net::shard`. Tables print to stdout and are
 //! also written as CSV under `--out` (default `results/`).
 
 #![forbid(unsafe_code)]
@@ -55,7 +58,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--replicas N] [--out DIR] \
+        "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--shards N] [--replicas N] [--out DIR] \
          [--oracle off|count|panic] [--metrics FILE] [--trace FILE] [--ac3 exact|fast] \
          <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>\n\
          --ac3 applies to `scenario`: establishment is vetted per node by procedure 3 \
@@ -88,6 +91,7 @@ fn parse_args() -> Args {
             "--seconds" => seconds = Some(num(&mut it)),
             "--seed" => seed = Some(num(&mut it)),
             "--threads" => threads = Some(num(&mut it).max(1) as usize),
+            "--shards" => lit_net::shard::set_global_shards(num(&mut it) as usize),
             "--replicas" => replicas = Some(num(&mut it).max(1) as u32),
             "--out" => out = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             "--metrics" => metrics = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),

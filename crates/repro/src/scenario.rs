@@ -185,6 +185,10 @@ pub struct RunOptions {
     /// [`NetworkBuilder::batch_arrivals`]); observably identical, and
     /// ignored while a probe or the oracle is installed.
     pub batch: bool,
+    /// Shard-worker override (see [`NetworkBuilder::shards`]); `None`
+    /// follows the process-global `--shards` flag. Results are identical
+    /// for every value; a probe or panic-mode oracle forces scalar.
+    pub shards: Option<usize>,
 }
 
 /// Split `key=value` (value may be absent for flags).
@@ -508,7 +512,8 @@ impl Scenario {
             .seed(self.seed)
             .queue_kind(self.queue)
             .event_backend(opts.backend.unwrap_or(self.backend))
-            .batch_arrivals(opts.batch);
+            .batch_arrivals(opts.batch)
+            .shards(opts.shards.unwrap_or_else(lit_net::shard::global_shards));
         // The oracle's invariants are Leave-in-Time's, checked against an
         // exact deadline queue; other disciplines and the bucketed
         // ablation queue run unchecked.

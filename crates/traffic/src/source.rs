@@ -23,7 +23,11 @@ pub struct Emission {
 /// Implementations must be **monotone**: successive calls return
 /// non-decreasing `at` values. `None` means the source is exhausted and
 /// will never emit again.
-pub trait Source {
+///
+/// `Send` is a supertrait so the sharded executor can pin each session's
+/// source to the worker thread owning its first hop; sources are
+/// self-contained generators with no shared handles.
+pub trait Source: Send {
     /// Produce the next emission, advancing internal state.
     fn next_emission(&mut self, rng: &mut SimRng) -> Option<Emission>;
 

@@ -1,0 +1,205 @@
+//! The shard count is a wall-clock knob, never a results knob: building
+//! the same network with `--shards 1..=8` must produce byte-identical
+//! statistics, delivery logs, event counts and oracle verdicts. `1` runs
+//! the scalar engine, `≥2` the lookahead-windowed sharded engine, so
+//! these tests pin scalar ≡ sharded(k) for every admissible `k` end to
+//! end, Debug-formatted and compared as strings.
+
+#![forbid(unsafe_code)]
+
+use leave_in_time::core::{install_oracle_bounds, LitDiscipline};
+use leave_in_time::net::{
+    DelayAssignment, LinkParams, NetworkBuilder, NodeId, OracleConfig, OracleMode, SessionId,
+    SessionSpec, StatsConfig,
+};
+use leave_in_time::sim::{Duration, Time};
+use leave_in_time::traffic::{DeterministicSource, PoissonSource};
+
+fn stats_cfg() -> StatsConfig {
+    StatsConfig {
+        delivery_log_cap: 64,
+        ..StatsConfig::default()
+    }
+}
+
+/// Everything a user can observe about a finished network, as one string.
+fn fingerprint(net: &mut leave_in_time::net::Network) -> String {
+    let mut out = String::new();
+    let drain_failures = net.oracle_drain_check();
+    for i in 0..net.num_sessions() {
+        let st = net.session_stats(SessionId(i as u32));
+        out.push_str(&format!("session {i}: {st:?}\n"));
+    }
+    for n in 0..net.num_nodes() {
+        let st = net.node_stats(NodeId(n as u32));
+        out.push_str(&format!("node {n}: {st:?}\n"));
+    }
+    out.push_str(&format!(
+        "events {} oracle {:?} drain {}\n",
+        net.event_count(),
+        net.oracle_totals(),
+        drain_failures
+    ));
+    out
+}
+
+/// The 16-node fat tandem of the scale benchmark: every session rides the
+/// full route, sources staggered so no two network events ever share an
+/// instant (which is what makes scalar FIFO order and the sharded
+/// engine's canonical order agree event for event).
+fn fat_tandem(shards: usize, oracle: bool) -> leave_in_time::net::Network {
+    let mut b = NetworkBuilder::new()
+        .seed(42)
+        .shards(shards)
+        .stats(stats_cfg());
+    if oracle {
+        b = b.oracle(OracleConfig::new(OracleMode::Count));
+    }
+    let nodes = b.tandem(16, LinkParams::paper_t1());
+    for i in 0..6u64 {
+        let spec = SessionSpec::atm(SessionId(0), 32_000).with_jitter_control();
+        b.add_session(
+            spec,
+            &nodes,
+            Box::new(
+                DeterministicSource::new(Duration::from_us(13_250), 424)
+                    .with_offset(Duration::from_ns(1 + i * 37)),
+            ),
+        );
+    }
+    for i in 0..4u64 {
+        let spec = SessionSpec::atm(SessionId(0), 64_000);
+        b.add_session(
+            spec,
+            &nodes[(i as usize % 3)..],
+            Box::new(PoissonSource::new(Duration::from_us(9_000), 424)),
+        );
+    }
+    let mut net = b.build(&|l| Box::new(LitDiscipline::new(*l)) as _);
+    if oracle {
+        install_oracle_bounds(&mut net);
+    }
+    net
+}
+
+/// A fan-in tree: two staggered tandem branches merging into a shared
+/// trunk, so cross-shard handoffs from *different* shards target the
+/// same node and the drain order of the mailboxes is actually exercised.
+fn fan_in(shards: usize) -> leave_in_time::net::Network {
+    let mut b = NetworkBuilder::new()
+        .seed(7)
+        .shards(shards)
+        .stats(stats_cfg());
+    let left: Vec<NodeId> = (0..4).map(|_| b.add_node(LinkParams::paper_t1())).collect();
+    let right: Vec<NodeId> = (0..4).map(|_| b.add_node(LinkParams::paper_t1())).collect();
+    let trunk: Vec<NodeId> = (0..4)
+        .map(|_| {
+            b.add_node(LinkParams {
+                rate_bps: 3_072_000,
+                ..LinkParams::paper_t1()
+            })
+        })
+        .collect();
+    for (i, branch) in [&left, &right].into_iter().enumerate() {
+        for j in 0..3u64 {
+            let route: Vec<NodeId> = branch.iter().chain(trunk.iter()).copied().collect();
+            let spec = SessionSpec::atm(SessionId(0), 32_000)
+                .with_delay(DelayAssignment::LenOverRate)
+                .with_jitter_control();
+            b.add_session(
+                spec,
+                &route,
+                Box::new(
+                    DeterministicSource::new(Duration::from_us(13_250), 424)
+                        .with_offset(Duration::from_ns(1 + (i as u64) * 101 + j * 37)),
+                ),
+            );
+        }
+    }
+    b.build(&|l| Box::new(LitDiscipline::new(*l)) as _)
+}
+
+#[test]
+fn fat_tandem_identical_across_shard_counts() {
+    let horizon = Time::from_ms(1_500);
+    let mut baseline = fat_tandem(1, false);
+    assert_eq!(baseline.shard_count(), 1, "shards(1) must run scalar");
+    baseline.run_until(horizon);
+    let want = fingerprint(&mut baseline);
+    for shards in 2..=8usize {
+        let mut net = fat_tandem(shards, false);
+        assert!(net.shard_count() > 1, "{shards} shards degraded to scalar");
+        net.run_until(horizon);
+        assert_eq!(
+            fingerprint(&mut net),
+            want,
+            "results diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn fat_tandem_oracle_counts_identical_across_shard_counts() {
+    let horizon = Time::from_ms(1_000);
+    let mut baseline = fat_tandem(1, true);
+    baseline.run_until(horizon);
+    let want = fingerprint(&mut baseline);
+    for shards in [2usize, 4, 8] {
+        let mut net = fat_tandem(shards, true);
+        assert!(net.shard_count() > 1, "{shards} shards degraded to scalar");
+        net.run_until(horizon);
+        assert_eq!(
+            fingerprint(&mut net),
+            want,
+            "oracle-mode results diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn fan_in_identical_across_shard_counts() {
+    let horizon = Time::from_ms(1_500);
+    let mut baseline = fan_in(1);
+    baseline.run_until(horizon);
+    let want = fingerprint(&mut baseline);
+    for shards in 2..=8usize {
+        let mut net = fan_in(shards);
+        net.run_until(horizon);
+        assert_eq!(
+            fingerprint(&mut net),
+            want,
+            "fan-in results diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn repeated_run_until_segments_match_one_shot() {
+    // Windowed execution must be insensitive to where `run_until` stops:
+    // many short horizons = one long horizon.
+    let mut one_shot = fat_tandem(4, false);
+    one_shot.run_until(Time::from_ms(1_000));
+    let want = fingerprint(&mut one_shot);
+    let mut stepped = fat_tandem(4, false);
+    for step in 1..=10u64 {
+        stepped.run_until(Time::from_ms(step * 100));
+    }
+    assert_eq!(fingerprint(&mut stepped), want);
+}
+
+#[test]
+fn probe_forces_scalar_engine() {
+    // Satellite guard: an installed probe must degrade sharding to the
+    // scalar engine (probes hook the global dispatch order).
+    let mut b = NetworkBuilder::new().seed(1).shards(8);
+    let nodes = b.tandem(8, LinkParams::paper_t1());
+    b.add_session(
+        SessionSpec::atm(SessionId(0), 32_000),
+        &nodes,
+        Box::new(DeterministicSource::paper_cbr()),
+    );
+    let net = b
+        .probe(Box::new(leave_in_time::net::NoopProbe))
+        .build(&|l| Box::new(LitDiscipline::new(*l)) as _);
+    assert_eq!(net.shard_count(), 1);
+}
