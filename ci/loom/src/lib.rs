@@ -89,8 +89,10 @@ mod models {
 
 /// Loom models of the sharded executor's window protocol
 /// (`crates/net/src/shard.rs`): per-window barrier alignment, atomic
-/// `next_event_ps` publication, and the bounded-mailbox-plus-spill-lane
-/// handoff. Loom provides neither `std::sync::Barrier` nor
+/// `next_event_ps` publication, the bounded-mailbox-plus-spill-lane
+/// handoff, and the full multi-window worker loop with its two exits
+/// (tmin exhaustion, post-barrier-B abort) under a mid-window panic.
+/// Loom provides neither `std::sync::Barrier` nor
 /// `std::sync::mpsc`, so the model rebuilds both from loom's `Mutex`,
 /// `Condvar` and atomics with the *same* protocol rules the production
 /// code follows: sends happen strictly between barriers A and B, drains
@@ -230,37 +232,117 @@ mod shard_models {
         });
     }
 
-    /// The panic-trap rule: a shard that fails inside its window flags
-    /// the shared abort *before* barrier B, so the surviving shard
-    /// always observes the abort at its own post-B check and exits the
-    /// loop on the same aligned barrier — nobody is left parked.
+    /// The production worker loop of `ShardedNet::run_until`, windows
+    /// and all, with one shard "panicking" (trapping a payload and
+    /// flagging the shared abort) partway through a window. Mirrors the
+    /// production break conditions exactly: the *only* pre-window exit
+    /// is a pure function of the barrier-A `next_ts` snapshot (`tmin`
+    /// exhausted), and abort is checked *only* after barrier B. A
+    /// pre-window `abort` load — which an earlier revision had — lets a
+    /// slow survivor observe a sibling's mid-window store and break
+    /// before barrier B while the flagging shard is already parked
+    /// there: a permanent deadlock this multi-window model exists to
+    /// exhibit (loom reports it as every thread blocked). Running the
+    /// loop over two windows keeps that interleaving inside the
+    /// explored state space instead of outside it.
+    struct AbortLoop {
+        barrier: Barrier,
+        next_ts: [AtomicU64; 2],
+        abort: AtomicBool,
+        payload: Mutex<Option<&'static str>>,
+    }
+
+    /// One shard's worker loop: events at t = 10 and t = 20, horizon 100,
+    /// lookahead 5 (so the two events land in different windows).
+    /// `fail_at_window` simulates a panic trapped inside that window's
+    /// body. Returns (windows fully completed, exited via abort).
+    fn abort_loop_worker(lp: &AbortLoop, id: usize, fail_at_window: Option<usize>) -> (usize, bool) {
+        const UNTIL: u64 = 100;
+        const LOOKAHEAD: u64 = 5;
+        let mut pending: VecDeque<u64> = [10u64, 20].into_iter().collect();
+        let mut window = 0usize;
+        loop {
+            lp.next_ts[id].store(
+                pending.front().copied().unwrap_or(u64::MAX),
+                Ordering::SeqCst,
+            );
+            lp.barrier.wait(); // A
+            let tmin = lp
+                .next_ts
+                .iter()
+                .map(|a| a.load(Ordering::SeqCst))
+                .min()
+                .unwrap();
+            // Pure function of the common snapshot — no abort load here.
+            if tmin == u64::MAX || tmin > UNTIL {
+                return (window, false);
+            }
+            // Window body: consume local events strictly below the horizon.
+            while let Some(&t) = pending.front() {
+                if t < tmin.saturating_add(LOOKAHEAD) {
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            if fail_at_window == Some(window) {
+                lp.payload.lock().unwrap().get_or_insert("boom");
+                lp.abort.store(true, Ordering::SeqCst);
+            }
+            lp.barrier.wait(); // B
+            if lp.abort.load(Ordering::SeqCst) {
+                return (window, true);
+            }
+            window += 1;
+        }
+    }
+
     #[test]
-    fn abort_flag_is_visible_after_barrier_b() {
+    fn panic_abort_exits_every_shard_on_an_aligned_barrier() {
         loom::model(|| {
-            let barrier = Arc::new(Barrier::new(2));
-            let abort = Arc::new(AtomicBool::new(false));
-            let payload = Arc::new(Mutex::new(None::<&'static str>));
+            let lp = Arc::new(AbortLoop {
+                barrier: Barrier::new(2),
+                next_ts: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+                abort: AtomicBool::new(false),
+                payload: Mutex::new(None),
+            });
 
             let failing = {
-                let (barrier, abort, payload) =
-                    (Arc::clone(&barrier), Arc::clone(&abort), Arc::clone(&payload));
-                thread::spawn(move || {
-                    barrier.wait(); // A
-                    // Window body panics: trap the payload, flag abort.
-                    payload.lock().unwrap().get_or_insert("boom");
-                    abort.store(true, Ordering::SeqCst);
-                    barrier.wait(); // B
-                })
+                let lp = Arc::clone(&lp);
+                // Shard 0 "panics" inside its second window (index 1).
+                thread::spawn(move || abort_loop_worker(&lp, 0, Some(1)))
             };
+            let survivor = abort_loop_worker(&lp, 1, None);
+            let failed = failing.join().unwrap();
 
-            barrier.wait(); // A
-            barrier.wait(); // B
-            assert!(
-                abort.load(Ordering::SeqCst),
-                "survivor missed the abort at its aligned exit"
-            );
-            failing.join().unwrap();
-            assert_eq!(*payload.lock().unwrap(), Some("boom"));
+            // Both exit via the post-barrier-B abort check, in the same
+            // window — nobody is left parked and nobody runs past the
+            // flagged window.
+            assert_eq!(survivor, (1, true), "survivor missed the aligned abort exit");
+            assert_eq!(failed, (1, true));
+            assert_eq!(*lp.payload.lock().unwrap(), Some("boom"));
+        });
+    }
+
+    /// The clean-exhaustion exit of the same loop: with no failure both
+    /// shards drain both windows and leave on the tmin == MAX branch,
+    /// never observing an abort.
+    #[test]
+    fn window_loop_exhausts_cleanly_without_abort() {
+        loom::model(|| {
+            let lp = Arc::new(AbortLoop {
+                barrier: Barrier::new(2),
+                next_ts: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+                abort: AtomicBool::new(false),
+                payload: Mutex::new(None),
+            });
+            let other = {
+                let lp = Arc::clone(&lp);
+                thread::spawn(move || abort_loop_worker(&lp, 0, None))
+            };
+            assert_eq!(abort_loop_worker(&lp, 1, None), (2, false));
+            assert_eq!(other.join().unwrap(), (2, false));
+            assert!(lp.payload.lock().unwrap().is_none());
         });
     }
 }

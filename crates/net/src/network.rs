@@ -121,10 +121,20 @@ impl NetworkBuilder {
 
     /// Partition the nodes across `n` shard workers, each running its own
     /// event loop inside conservative lookahead windows (default: 1, the
-    /// scalar executor). Results are byte-identical for every shard
-    /// count. Falls back to the scalar executor when a probe is
+    /// scalar executor). Results are byte-identical across every sharded
+    /// count (`n ≥ 2`); they also match the scalar engine whenever no
+    /// two network events share an instant (staggered sources). With
+    /// same-instant ties the engines may order concurrent packets of
+    /// *different* sessions at one node differently — scalar breaks ties
+    /// in queue-push order, sharded in canonical content order — and the
+    /// sharded jitter oracle checks against the delivered-side reference
+    /// maximum where scalar reads it injection-side (never looser, and
+    /// itself shard-count-invariant); see [`crate::shard`] for both
+    /// deviations. Falls back to the scalar executor when a probe is
     /// installed, the oracle is in panic mode, or a cross-shard link has
-    /// zero propagation delay (no lookahead) — see [`crate::shard`].
+    /// zero propagation delay (no lookahead); the degrade bumps
+    /// [`crate::shard::shard_fallbacks`] and shows in
+    /// [`Network::shard_count`].
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n.max(1);
         self
@@ -242,6 +252,9 @@ impl NetworkBuilder {
     /// one shard *and* sharding is admissible (see [`Self::shards`]).
     pub fn build(self, factory: &DisciplineFactory<'_>) -> Network {
         let shards = self.effective_shards();
+        if shards <= 1 && self.shards > 1 {
+            crate::shard::record_fallback();
+        }
         if shards > 1 {
             Network {
                 inner: Engine::Sharded(Box::new(crate::shard::ShardedNet::build(
@@ -959,9 +972,12 @@ enum Engine {
 
 /// The network: topology + sessions + executor + accumulated statistics.
 ///
-/// Dispatches between the scalar engine and the sharded engine (see
-/// [`NetworkBuilder::shards`]); both produce byte-identical statistics,
-/// traces and oracle counts, so callers never observe which one ran.
+/// Dispatches between the scalar engine and the sharded engine.
+/// Statistics, traces and oracle counts are byte-identical across all
+/// sharded counts, and match the scalar engine whenever no two events
+/// share an instant — see [`NetworkBuilder::shards`] for the tie-order
+/// and jitter-oracle caveats on tie-heavy workloads, and
+/// [`Network::shard_count`] for which engine actually ran.
 pub struct Network {
     inner: Engine,
 }

@@ -46,7 +46,17 @@
 //! the events it owns: same-instant causal chains never cross shards
 //! (cross-shard hops have propagation ≥ L > 0), so node-local histories
 //! — and therefore all statistics, delivery logs and oracle counts —
-//! are byte-identical for every admissible shard count.
+//! are byte-identical for every admissible shard count **≥ 2**.
+//!
+//! Versus the *scalar* engine the guarantee is conditional: scalar
+//! dispatches same-instant ties in event-queue push order, a global
+//! FIFO notion no shard can reconstruct, so two sessions' packets
+//! hitting one idle link at the same picosecond may transmit in
+//! different orders under the two engines (e.g. phase-aligned CBR
+//! fan-in). Scalar ≡ sharded holds exactly when no two network events
+//! share an instant — which staggered sources guarantee and
+//! `tests/shard_determinism.rs` pins; the repro fuzzer compares shard
+//! counts against each other on arbitrary traffic instead.
 //!
 //! One check is *defined* slightly differently than the scalar engine's:
 //! the jitter oracle compares a session's running end-to-end spread
@@ -71,12 +81,15 @@
 //!
 //! # Fallbacks
 //!
-//! [`crate::NetworkBuilder::build`] silently degrades to the scalar
-//! engine whenever sharding cannot reproduce scalar observability: a
-//! probe is installed (hooks fire in global dispatch order), the oracle
-//! is in panic mode (must stop at the *first* violation globally), a
-//! cross-shard hop has zero propagation (empty lookahead), or fewer than
-//! two shards survive clamping to the node count.
+//! [`crate::NetworkBuilder::build`] degrades to the scalar engine
+//! whenever sharding cannot reproduce scalar observability: a probe is
+//! installed (hooks fire in global dispatch order), the oracle is in
+//! panic mode (must stop at the *first* violation globally), a
+//! cross-shard hop has zero propagation (empty lookahead), or fewer
+//! than two shards survive clamping to the node count. The degrade is
+//! not silent: every occurrence bumps the process-global
+//! [`shard_fallbacks`] counter, and the built engine is observable via
+//! [`crate::Network::shard_count`].
 
 use crate::arena::{PacketArena, PacketRef};
 use crate::discipline::{Discipline, DisciplineFactory, ScheduleDecision};
@@ -114,6 +127,27 @@ pub fn set_global_shards(n: usize) {
 /// The process-global default shard count (1 unless a CLI set it).
 pub fn global_shards() -> usize {
     GLOBAL_SHARDS.load(Ordering::Relaxed)
+}
+
+/// Process-global count of builds that requested ≥ 2 shards but degraded
+/// to the scalar engine (probe installed, panic-mode oracle, a
+/// zero-lookahead cross-shard edge, or fewer than two nodes). The
+/// fallback keeps results valid, but it silently changes which engine a
+/// run measures, so it is counted instead of hidden: harnesses can
+/// assert the sharded engine actually ran (see also
+/// [`crate::Network::shard_count`]), and `lit-repro` prints a notice
+/// when a `--shards` request degraded.
+static SHARD_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// How many builds so far degraded a ≥ 2 shard request to the scalar
+/// engine (see [`crate::NetworkBuilder::shards`] for the fallback cases).
+pub fn shard_fallbacks() -> u64 {
+    SHARD_FALLBACKS.load(Ordering::Relaxed)
+}
+
+/// Record one degraded build (called by `NetworkBuilder::build`).
+pub(crate) fn record_fallback() {
+    SHARD_FALLBACKS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Mailbox capacity per directed shard pair; overflow spills to a
@@ -985,6 +1019,14 @@ impl ShardedNet {
                 // barrier A everyone computes the same global minimum
                 // from the same published snapshot, so every shard takes
                 // the same branch below — the barriers stay aligned.
+                // The break condition must be a pure function of that
+                // common snapshot: reading `abort` here could observe a
+                // sibling's mid-window store while that sibling already
+                // parks on barrier B, and breaking would strand it (and
+                // everyone else) on a barrier no one completes. Abort is
+                // therefore checked only after barrier B, where the
+                // flagging store (sequenced before the flagger's own
+                // barrier-B wait) is visible to every shard alike.
                 // lit-lint: allow(no-panic-hot-path, "next_ts has one published slot per shard")
                 next_ts[shard.id].store(shard.next_event_ps(), Ordering::SeqCst);
                 barrier.wait();
@@ -993,7 +1035,7 @@ impl ShardedNet {
                     .map(|a| a.load(Ordering::SeqCst))
                     .min()
                     .unwrap_or(u64::MAX);
-                if tmin == u64::MAX || tmin > until_ps || abort.load(Ordering::SeqCst) {
+                if tmin == u64::MAX || tmin > until_ps {
                     break;
                 }
                 // lit-lint: allow(checked-clock-ops, "u64::MAX is the no-event sentinel; saturating keeps it a sentinel instead of wrapping")

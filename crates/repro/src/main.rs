@@ -24,9 +24,13 @@
 //! `--threads N` workers (default: all cores); the thread count never
 //! changes results, only wall-clock time. `--shards N` splits every
 //! network *within* one run across N per-core shard executors (default:
-//! 1, the scalar engine) — likewise byte-identical results for any
-//! value; see `lit_net::shard`. Tables print to stdout and are
-//! also written as CSV under `--out` (default `results/`).
+//! 1, the scalar engine) — byte-identical results across every `N ≥ 2`,
+//! and identical to `N = 1` on the experiments' staggered traffic where
+//! no two events share an instant (the general tie-order caveat and the
+//! fallback cases are documented at `lit_net::shard`; a run whose
+//! `--shards` request degraded to scalar says so on stderr). Tables
+//! print to stdout and are also written as CSV under `--out` (default
+//! `results/`).
 
 #![forbid(unsafe_code)]
 
@@ -304,6 +308,20 @@ fn run_command(cmd: &str, cfg: &RunConfig, out: &Path) -> bool {
     true
 }
 
+/// After a run: if `--shards` asked for parallelism but some network
+/// builds degraded to the scalar engine (probe installed, panic-mode
+/// oracle, zero-lookahead edge), say so — the results are still valid,
+/// but any wall-clock numbers were measured on the scalar engine.
+fn report_shard_fallbacks() {
+    let fb = lit_net::shard::shard_fallbacks();
+    if lit_net::shard::global_shards() > 1 && fb > 0 {
+        eprintln!(
+            "shards: {fb} network build(s) fell back to the scalar engine \
+             (probe / panic-mode oracle / zero-lookahead edge; results unaffected)"
+        );
+    }
+}
+
 /// After a run: report the process-global conformance-oracle tally (every
 /// Leave-in-Time network built by the experiments feeds it, drain checks
 /// included) and turn a nonzero count into a failing exit.
@@ -339,6 +357,7 @@ fn main() -> ExitCode {
                 };
                 emit(&args.out, "scenario", &sc.run_report());
                 write_obs(&args);
+                report_shard_fallbacks();
                 oracle_verdict()
             }
             Err(e) => {
@@ -364,6 +383,7 @@ fn main() -> ExitCode {
     );
     if run_command(&args.command, &args.cfg, &args.out) {
         write_obs(&args);
+        report_shard_fallbacks();
         oracle_verdict()
     } else {
         usage()

@@ -15,6 +15,10 @@ use leave_in_time::net::{
 use leave_in_time::sim::{Duration, Time};
 use leave_in_time::traffic::{DeterministicSource, PoissonSource};
 
+/// Serializes the tests that assert on the process-global fallback
+/// counter (`shard_fallbacks`), which every builder in this binary feeds.
+static FALLBACK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn stats_cfg() -> StatsConfig {
     StatsConfig {
         delivery_log_cap: 64,
@@ -187,10 +191,83 @@ fn repeated_run_until_segments_match_one_shot() {
     assert_eq!(fingerprint(&mut stepped), want);
 }
 
+/// Test discipline that panics on every arrival past a global limit.
+struct PanicAfter {
+    seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    limit: u64,
+}
+
+impl leave_in_time::net::Discipline for PanicAfter {
+    fn name(&self) -> &'static str {
+        "panic-after"
+    }
+    fn register_session(&mut self, _: &SessionSpec, _: &DelayAssignment) {}
+    fn on_arrival(
+        &mut self,
+        pkt: &mut leave_in_time::net::Packet,
+        now: Time,
+    ) -> leave_in_time::net::ScheduleDecision {
+        use std::sync::atomic::Ordering;
+        if self.seen.fetch_add(1, Ordering::Relaxed) + 1 >= self.limit {
+            panic!("injected discipline failure");
+        }
+        pkt.deadline = now;
+        leave_in_time::net::ScheduleDecision::at(now, now)
+    }
+    fn on_departure(&mut self, _: &mut leave_in_time::net::Packet, _: Time) {}
+}
+
+#[test]
+fn sharded_worker_panic_propagates_to_caller() {
+    // A discipline panicking mid-window on one shard must resurface via
+    // resume_unwind on the calling thread — never strand sibling shards
+    // on a window barrier. The worker loop's only exits are barrier-
+    // aligned (tmin from the common barrier-A snapshot; abort checked
+    // only after barrier B), so this completes instead of deadlocking.
+    let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let result = std::panic::catch_unwind({
+        let seen = std::sync::Arc::clone(&seen);
+        move || {
+            let mut b = NetworkBuilder::new().seed(9).shards(4).stats(stats_cfg());
+            let nodes = b.tandem(8, LinkParams::paper_t1());
+            for i in 0..4u64 {
+                b.add_session(
+                    SessionSpec::atm(SessionId(0), 64_000),
+                    &nodes,
+                    Box::new(
+                        DeterministicSource::new(Duration::from_us(6_625), 424)
+                            .with_offset(Duration::from_ns(1 + i * 37)),
+                    ),
+                );
+            }
+            let mut net = b.build(&|_l| {
+                Box::new(PanicAfter {
+                    seen: std::sync::Arc::clone(&seen),
+                    limit: 200,
+                }) as _
+            });
+            assert!(net.shard_count() > 1, "panic test needs the sharded engine");
+            net.run_until(Time::from_secs(5));
+        }
+    });
+    let payload = result.expect_err("injected panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(
+        msg.contains("injected discipline failure"),
+        "unexpected panic payload: {msg:?}"
+    );
+}
+
 #[test]
 fn probe_forces_scalar_engine() {
     // Satellite guard: an installed probe must degrade sharding to the
-    // scalar engine (probes hook the global dispatch order).
+    // scalar engine (probes hook the global dispatch order) — and the
+    // degrade must not be silent: it bumps the process-global fallback
+    // counter so harnesses can tell which engine a run measured. The
+    // counter is process-global, so the tests that touch it serialize
+    // on FALLBACK_LOCK and assert deltas, not absolutes.
+    let _guard = FALLBACK_LOCK.lock().unwrap();
+    let before = leave_in_time::net::shard::shard_fallbacks();
     let mut b = NetworkBuilder::new().seed(1).shards(8);
     let nodes = b.tandem(8, LinkParams::paper_t1());
     b.add_session(
@@ -202,4 +279,44 @@ fn probe_forces_scalar_engine() {
         .probe(Box::new(leave_in_time::net::NoopProbe))
         .build(&|l| Box::new(LitDiscipline::new(*l)) as _);
     assert_eq!(net.shard_count(), 1);
+    assert!(
+        leave_in_time::net::shard::shard_fallbacks() > before,
+        "probe fallback must be counted"
+    );
+}
+
+#[test]
+fn zero_propagation_forces_scalar_engine_and_is_counted() {
+    // Zero propagation on a cross-shard hop means zero lookahead — no
+    // conservative window exists, so the build degrades to scalar and
+    // records the fallback.
+    let _guard = FALLBACK_LOCK.lock().unwrap();
+    let before = leave_in_time::net::shard::shard_fallbacks();
+    let zero_prop = LinkParams {
+        propagation: Duration::ZERO,
+        ..LinkParams::paper_t1()
+    };
+    let mut b = NetworkBuilder::new().seed(2).shards(8);
+    let nodes = b.tandem(8, zero_prop);
+    b.add_session(
+        SessionSpec::atm(SessionId(0), 32_000),
+        &nodes,
+        Box::new(DeterministicSource::paper_cbr()),
+    );
+    let net = b.build(&|l| Box::new(LitDiscipline::new(*l)) as _);
+    assert_eq!(net.shard_count(), 1);
+    assert!(
+        leave_in_time::net::shard::shard_fallbacks() > before,
+        "zero-lookahead fallback must be counted"
+    );
+
+    // A sharded build that is admissible must NOT bump the counter.
+    let counted = leave_in_time::net::shard::shard_fallbacks();
+    let net = fat_tandem(4, false);
+    assert!(net.shard_count() > 1);
+    assert_eq!(
+        leave_in_time::net::shard::shard_fallbacks(),
+        counted,
+        "an admissible sharded build is not a fallback"
+    );
 }
