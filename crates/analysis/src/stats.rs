@@ -95,6 +95,18 @@ impl BusyFraction {
         }
     }
 
+    /// Exact accumulated busy time over `[ZERO, now]`, closing any open
+    /// busy interval virtually at `now` — the fixed-point sibling of
+    /// [`BusyFraction::fraction_at`], for checks that compare busy time
+    /// against transmitted work without float rounding.
+    pub fn busy_at(&self, now: Time) -> Duration {
+        let mut busy = self.busy;
+        if let Some(since) = self.busy_since {
+            busy += now - since;
+        }
+        busy
+    }
+
     /// Busy fraction over `[ZERO, now]`, closing any open busy interval
     /// virtually at `now`.
     pub fn fraction_at(&self, now: Time) -> f64 {
@@ -143,6 +155,16 @@ mod tests {
         b.set_busy(Time::from_ms(8));
         b.set_idle(Time::from_ms(13));
         assert!((b.fraction_at(Time::from_ms(20)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_at_is_exact_and_closes_open_intervals() {
+        let mut b = BusyFraction::new();
+        b.set_busy(Time::from_ms(1));
+        b.set_idle(Time::from_ms(4));
+        assert_eq!(b.busy_at(Time::from_ms(10)), Duration::from_ms(3));
+        b.set_busy(Time::from_ms(8));
+        assert_eq!(b.busy_at(Time::from_ms(10)), Duration::from_ms(5));
     }
 
     #[test]

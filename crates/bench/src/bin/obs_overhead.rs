@@ -2,13 +2,17 @@
 //!
 //! Runs one ~10⁶-event Leave-in-Time scenario three ways — probes off,
 //! metrics-only probe, metrics + trace probe — and reports wall time per
-//! simulator event for each arm. Every probed run is interleaved with a
-//! fresh probes-off run, each ratio pairing two back-to-back runs so slow
-//! machine drift divides out; the reported overhead is the **median** of
-//! those paired ratios with an order-statistic ~95% confidence interval.
-//! (An earlier version took the *minimum* paired ratio, which is biased
-//! downward under noise — the quietest `on` against an average `off`
-//! routinely produced impossible negative overheads.)
+//! simulator event for each arm. Each rep is an interleaved burst of
+//! `k` back-to-back `(off, on)` pairs per probed arm; one overhead
+//! sample is `min-of-k(on) / min-of-k(off) − 1`. The minimum within an
+//! arm filters scheduler noise, which only ever adds time; taking it
+//! *inside* a short burst keeps the two arms' minima drawn from the
+//! same machine conditions, so drift divides out of the ratio. The
+//! reported overhead is the **median** of those burst ratios with an
+//! order-statistic ~95% confidence interval. (Earlier versions paired
+//! single runs — the CI routinely spanned impossible negative
+//! overheads — and before that took the minimum *ratio*, which is
+//! biased downward: the quietest `on` against an average `off`.)
 //!
 //! Two guards:
 //!
@@ -26,9 +30,9 @@
 //! `--write-baseline` refreshes the committed baseline;
 //! every invocation writes `results/BENCH_obs_overhead.json`.
 //!
-//! Usage: `obs_overhead [--test|--quick] [--reps N] [--out DIR]
-//! [--baseline FILE] [--write-baseline] [--tol-off F] [--tol-on F]
-//! [--tol-trace F]`
+//! Usage: `obs_overhead [--test|--quick] [--reps N] [--min-k K]
+//! [--out DIR] [--baseline FILE] [--write-baseline] [--tol-off F]
+//! [--tol-on F] [--tol-trace F]`
 
 #![forbid(unsafe_code)]
 
@@ -122,18 +126,21 @@ fn median_ci(xs: &[f64]) -> (f64, f64) {
     (xs[lo], xs[hi])
 }
 
-/// Run the three arms — probes off, metrics-only, metrics + trace —
-/// with every probed run sandwiched directly after a fresh probes-off
-/// run (`off, metrics, off, trace` per rep), so each ratio pairs two
-/// back-to-back runs and slow drift (thermal throttling, noisy
-/// neighbours) divides out.
-fn time_arms(sc: &Scenario, reps: u32, trace_cap: usize) -> ArmSamples {
+/// Run the three arms — probes off, metrics-only, metrics + trace.
+/// Each rep runs one interleaved burst of `k` back-to-back `(off, on)`
+/// pairs per probed arm and contributes a single
+/// `min-of-k(on) / min-of-k(off) − 1` overhead sample: the minimum
+/// filters scheduler noise (which only ever adds time), and taking both
+/// minima inside the same short burst means slow drift (thermal
+/// throttling, noisy neighbours) divides out of the ratio.
+fn time_arms(sc: &Scenario, reps: u32, k: u32, trace_cap: usize) -> ArmSamples {
     let opts = RunOptions {
         backend: None,
         stats: None,
         oracle: OracleMode::Off,
         batch: false,
         shards: None,
+        regulator: None,
     };
     let mut best = [u128::MAX; 3];
     let mut overhead: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
@@ -149,23 +156,27 @@ fn time_arms(sc: &Scenario, reps: u32, trace_cap: usize) -> ArmSamples {
     let mut off_rel = Vec::new();
     let mut calib_best = u128::MAX;
     for _ in 0..reps.max(1) {
-        // Pair a calibration sample with the first off run of the rep so
+        // Pair a calibration sample with the off burst of the rep so
         // the cross-run baseline ratio is drift-cancelled the same way
         // the within-run overhead ratios are.
         let calib = calibrate();
         calib_best = calib_best.min(calib);
         for probed in 0..2 {
-            let off = timed(None);
-            let on = timed(Some(Box::new(ObsProbe::new(if probed == 0 {
-                0
-            } else {
-                trace_cap
-            }))));
-            best[0] = best[0].min(off);
-            best[probed + 1] = best[probed + 1].min(on);
-            overhead[probed].push(on as f64 / off.max(1) as f64 - 1.0);
+            let mut off_min = u128::MAX;
+            let mut on_min = u128::MAX;
+            for _ in 0..k.max(1) {
+                off_min = off_min.min(timed(None));
+                on_min = on_min.min(timed(Some(Box::new(ObsProbe::new(if probed == 0 {
+                    0
+                } else {
+                    trace_cap
+                })))));
+            }
+            best[0] = best[0].min(off_min);
+            best[probed + 1] = best[probed + 1].min(on_min);
+            overhead[probed].push(on_min as f64 / off_min.max(1) as f64 - 1.0);
             if probed == 0 {
-                off_rel.push(off as f64 / calib.max(1) as f64);
+                off_rel.push(off_min as f64 / calib.max(1) as f64);
             }
         }
     }
@@ -180,9 +191,9 @@ fn time_arms(sc: &Scenario, reps: u32, trace_cap: usize) -> ArmSamples {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: obs_overhead [--test|--quick] [--reps N] [--out DIR] \
-         [--baseline FILE] [--write-baseline] [--tol-off F] [--tol-on F] \
-         [--tol-trace F]"
+        "usage: obs_overhead [--test|--quick] [--reps N] [--min-k K] \
+         [--out DIR] [--baseline FILE] [--write-baseline] [--tol-off F] \
+         [--tol-on F] [--tol-trace F]"
     );
     std::process::exit(2);
 }
@@ -195,6 +206,7 @@ fn field(v: &lit_obs::json::Value, key: &str) -> Option<f64> {
 fn main() {
     let mut quick = false;
     let mut reps = 7u32;
+    let mut min_k = 3u32;
     let mut out = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
     let mut baseline: Option<PathBuf> = None;
     let mut write_baseline = false;
@@ -207,6 +219,12 @@ fn main() {
             "--test" | "--quick" => quick = true,
             "--reps" => {
                 reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--min-k" => {
+                min_k = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
@@ -244,6 +262,7 @@ fn main() {
     if quick {
         sc = sc.with_horizon(Duration::from_ms(4_000));
         reps = reps.min(2);
+        min_k = min_k.min(2);
     }
 
     let base_rel = baseline.as_ref().and_then(|p| {
@@ -252,7 +271,7 @@ fn main() {
             .and_then(|s| lit_obs::json::Value::parse(&s).ok())
             .and_then(|v| field(&v, "off_rel_calib"))
     });
-    let mut t = time_arms(&sc, reps, lit_obs::hub::DEFAULT_TRACE_CAP);
+    let mut t = time_arms(&sc, reps, min_k, lit_obs::hub::DEFAULT_TRACE_CAP);
     let over_tol = |t: &ArmSamples| {
         median(&t.overhead[0]) > tol_on
             || median(&t.overhead[1]) > tol_trace
@@ -268,7 +287,12 @@ fn main() {
         // sample grows. A persistent regression still fails: more samples
         // of a genuinely slower binary only confirm its median.
         eprintln!("obs_overhead: overhead above tolerance, retrying with {retry_reps} reps");
-        t.merge(time_arms(&sc, retry_reps, lit_obs::hub::DEFAULT_TRACE_CAP));
+        t.merge(time_arms(
+            &sc,
+            retry_reps,
+            min_k,
+            lit_obs::hub::DEFAULT_TRACE_CAP,
+        ));
         retry_reps = (retry_reps * 3 / 2).min(reps * 4);
     }
     let ([off_ns, metrics_ns, trace_ns], events) = (t.best, t.events);
@@ -282,7 +306,7 @@ fn main() {
 
     let per_event = off_ns as f64 / events.max(1) as f64;
     println!(
-        "obs_overhead: {events} events, calib {:.1} ms, {} paired samples",
+        "obs_overhead: {events} events, calib {:.1} ms, {} min-of-{min_k} burst samples",
         calib_ns as f64 / 1e6,
         t.overhead[0].len()
     );

@@ -48,7 +48,10 @@ mod stats;
 mod table;
 
 pub use arena::{PacketArena, PacketRef};
-pub use discipline::{Discipline, DisciplineFactory, ScheduleDecision};
+pub use discipline::{
+    clear_global_regulator, global_regulator, set_global_regulator, Discipline, DisciplineFactory,
+    RegulatorBackend, ScheduleDecision,
+};
 pub use equeue::QueueKind;
 pub use lit_obs::{NoopProbe, ObsProbe, PacketView, Probe};
 pub use lit_sim::EventBackend;

@@ -12,7 +12,9 @@
 //! propagation delay, matching the `Σ (L_MAX/Cₙ + Γₙ)` structure of the
 //! paper's β constant.
 
-use crate::discipline::{Discipline, DisciplineFactory, ScheduleDecision};
+use crate::discipline::{
+    Discipline, DisciplineFactory, RegFifo, RegulatorBackend, ScheduleDecision,
+};
 use crate::equeue::{EligibleQueue, QueueKind};
 use crate::oracle::{
     ccdf_shift_violation, OracleConfig, OracleMode, OracleRt, OracleTotals, SessionBounds,
@@ -44,6 +46,10 @@ struct NodeRt {
     queue: EligibleQueue<Packet>,
     /// The packet currently being transmitted, if any.
     current: Option<Packet>,
+    /// The shared head-gated regulator FIFO of this node. Only populated
+    /// under [`RegulatorBackend::Interleaved`]; stays empty (and costs
+    /// nothing) under the per-session backend.
+    fifo: RegFifo<Packet>,
 }
 
 /// Runtime state of one session.
@@ -70,6 +76,10 @@ enum Event {
     /// eligibility instant the regulator computed; the oracle verifies
     /// the executor releases the packet exactly then.
     Eligible { pkt: Packet, key: u128, at: Time },
+    /// The head of `node`'s shared interleaved-regulator FIFO reaches its
+    /// eligibility instant `at`: release every leading entry whose own
+    /// eligibility has passed, then re-arm at the new head's instant.
+    RegFire { node: u32, at: Time },
     /// The node finished transmitting its current packet.
     TxDone { node: u32 },
 }
@@ -94,6 +104,7 @@ pub struct NetworkBuilder {
     pub(crate) probe: Option<Box<dyn Probe>>,
     pub(crate) batch_arrivals: bool,
     pub(crate) shards: usize,
+    pub(crate) regulator: RegulatorBackend,
 }
 
 impl Default for NetworkBuilder {
@@ -116,7 +127,24 @@ impl NetworkBuilder {
             probe: None,
             batch_arrivals: false,
             shards: 1,
+            regulator: RegulatorBackend::PerSession,
         }
+    }
+
+    /// Select how each node realizes its delay regulator (default: the
+    /// paper's per-session regulators). Under
+    /// [`RegulatorBackend::Interleaved`] every node holds its
+    /// ahead-of-schedule packets in **one shared FIFO** gated by the head's
+    /// eligibility instant (TSN ATS style): a packet may additionally wait
+    /// behind earlier-queued packets of other sessions, so the paper's
+    /// per-session lateness allowance no longer applies and the oracle
+    /// swaps that check for the interleaved-regulator release-order and
+    /// shaping-delay invariants. Batched arrival dispatch is ignored under
+    /// the interleaved backend (holds couple sessions, so arrivals cannot
+    /// be drained per session).
+    pub fn regulator(mut self, backend: RegulatorBackend) -> Self {
+        self.regulator = backend;
+        self
     }
 
     /// Partition the nodes across `n` shard workers, each running its own
@@ -304,6 +332,7 @@ impl NetworkBuilder {
                 discipline: factory(link),
                 queue: EligibleQueue::new(self.queue_kind),
                 current: None,
+                fifo: RegFifo::new(),
             })
             .collect();
 
@@ -344,9 +373,16 @@ impl NetworkBuilder {
 
         // Batching is observably identical only when nothing watches the
         // per-packet dispatch order: probes and the oracle both hook each
-        // arrival individually, so they force the scalar path.
-        let batch_arrivals =
-            self.batch_arrivals && probe.is_none() && self.oracle.mode == OracleMode::Off;
+        // arrival individually, so they force the scalar path. The
+        // interleaved regulator couples sessions through the shared FIFO,
+        // so its arrivals cannot be drained per session either.
+        let batch_arrivals = self.batch_arrivals
+            && probe.is_none()
+            && self.oracle.mode == OracleMode::Off
+            && self.regulator == RegulatorBackend::PerSession;
+
+        let mut oracle = OracleRt::new(self.oracle, &session_hops);
+        oracle.interleaved = self.regulator == RegulatorBackend::Interleaved;
 
         ScalarNet {
             nodes,
@@ -355,11 +391,12 @@ impl NetworkBuilder {
             now: Time::ZERO,
             node_stats: (0..self.links.len()).map(|_| NodeStats::new()).collect(),
             session_stats,
-            oracle: OracleRt::new(self.oracle, &session_hops),
+            oracle,
             probe,
             batch_arrivals,
             batch_pkts: Vec::new(),
             batch_out: Vec::new(),
+            regulator: self.regulator,
         }
     }
 }
@@ -383,6 +420,9 @@ pub(crate) struct ScalarNet {
     /// Scratch buffers reused across batches (capacity persists).
     batch_pkts: Vec<Packet>,
     batch_out: Vec<ScheduleDecision>,
+    /// How the nodes realize their delay regulators (see
+    /// [`NetworkBuilder::regulator`]).
+    regulator: RegulatorBackend,
 }
 
 impl ScalarNet {
@@ -488,7 +528,96 @@ impl ScalarNet {
                 }
                 self.enqueue_eligible(node, pkt, key);
             }
+            Event::RegFire { node, at } => self.reg_fire(node, at),
             Event::TxDone { node } => self.tx_done(node),
+        }
+    }
+
+    /// The head of `node_idx`'s interleaved-regulator FIFO reached its
+    /// eligibility instant: release the head and every successor whose own
+    /// eligibility has also passed (head gating makes releases cascade),
+    /// then re-arm the timer at the new head's instant. On every release
+    /// the oracle checks the interleaved regulator's defining equation —
+    /// the release instant equals `max(previous release, entry E)` — and
+    /// the Thomas–Le Boudec shaping ceiling: a packet is never held past
+    /// its own eligibility longer than the largest `E − a` offset any
+    /// packet ever brought into this FIFO.
+    fn reg_fire(&mut self, node_idx: u32, at: Time) {
+        if self.oracle.enabled() && self.now != at {
+            let now = self.now;
+            self.oracle.violate(ViolationKind::ReleaseTime, || {
+                format!("node {node_idx}: regulator timer fired at {now}, was armed for {at}")
+            });
+        }
+        loop {
+            // lit-lint: allow(no-panic-hot-path, "executor invariant: RegFire events carry node ids from the build-time topology")
+            let node = &mut self.nodes[node_idx as usize];
+            let Some(head) = node.fifo.queue.front() else {
+                break;
+            };
+            if head.eligible > self.now {
+                let next = head.eligible;
+                self.events.push(
+                    next,
+                    Event::RegFire {
+                        node: node_idx,
+                        at: next,
+                    },
+                );
+                break;
+            }
+            // lit-lint: allow(no-panic-hot-path, "front() above proved the queue non-empty")
+            let entry = node.fifo.queue.pop_front().expect("non-empty fifo");
+            let expected = node.fifo.last_release.max(entry.eligible);
+            let ceiling_ps = node.fifo.max_hold_ps;
+            node.fifo.last_release = self.now;
+            let now = self.now;
+            if self.oracle.enabled() {
+                if now != expected {
+                    self.oracle.violate(ViolationKind::RegulatorFifo, || {
+                        format!(
+                            "node {node_idx} session {} seq {}: released at {now}, \
+                             interleaved regulator requires max(last release, E) = {expected}",
+                            entry.item.session.0, entry.item.seq
+                        )
+                    });
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.on_violation(
+                            now,
+                            ViolationKind::RegulatorFifo.label(),
+                            entry.item.session.0,
+                            entry.item.seq,
+                            node_idx,
+                        );
+                    }
+                }
+                let shaping_ps = now.checked_since(entry.eligible).map_or(0, |d| d.as_ps());
+                if shaping_ps > ceiling_ps {
+                    self.oracle.violate(ViolationKind::ShapingBound, || {
+                        format!(
+                            "node {node_idx} session {} seq {}: held {shaping_ps} ps past \
+                             its eligibility, service-curve ceiling is {ceiling_ps} ps",
+                            entry.item.session.0, entry.item.seq
+                        )
+                    });
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.on_violation(
+                            now,
+                            ViolationKind::ShapingBound.label(),
+                            entry.item.session.0,
+                            entry.item.seq,
+                            node_idx,
+                        );
+                    }
+                }
+            }
+            if let Some(p) = self.probe.as_deref_mut() {
+                let held = now
+                    .checked_since(entry.item.arrived)
+                    .unwrap_or(Duration::ZERO);
+                p.on_eligible(now, node_idx, pview(&entry.item), held);
+            }
+            self.enqueue_eligible(node_idx, entry.item, entry.key);
         }
     }
 
@@ -597,7 +726,36 @@ impl ScalarNet {
                 }
             }
         }
-        if decision.eligible > self.now {
+        if self.regulator == RegulatorBackend::Interleaved {
+            // Interleaved join rule: a packet enters the shared FIFO when
+            // it must be held (`E > now`) or when it is jitter-controlled
+            // and the FIFO already holds earlier packets (overtaking them
+            // would break the regulator's FIFO contract). Immediately
+            // eligible non-jc packets bypass the regulator, as unshaped
+            // traffic does in TSN ATS.
+            // lit-lint: allow(no-panic-hot-path, "executor invariant: node ids come from the build-time topology")
+            let node = &mut self.nodes[node_idx];
+            // lit-lint: allow(no-panic-hot-path, "executor invariant: packets carry the session id they were routed with at build")
+            let jc = self.sessions[sid].spec.jitter_control;
+            if decision.eligible > self.now || (jc && !node.fifo.queue.is_empty()) {
+                let was_empty = node.fifo.queue.is_empty();
+                node.fifo
+                    .join(pkt, decision.key, decision.eligible, self.now);
+                if was_empty {
+                    // Joining an empty FIFO implies `E > now`, so the
+                    // head timer is always armed strictly in the future.
+                    self.events.push(
+                        decision.eligible,
+                        Event::RegFire {
+                            node: node_idx as u32,
+                            at: decision.eligible,
+                        },
+                    );
+                }
+            } else {
+                self.enqueue_eligible(node_idx as u32, pkt, decision.key);
+            }
+        } else if decision.eligible > self.now {
             self.events.push(
                 decision.eligible,
                 Event::Eligible {
@@ -724,7 +882,12 @@ impl ScalarNet {
         nst.bits_transmitted += pkt.len_bits as u64;
         let lateness = finish.as_ps() as i128 - pkt.deadline.as_ps() as i128;
         nst.max_lateness_ps = nst.max_lateness_ps.max(lateness);
-        if self.oracle.enabled() && lateness >= lmax_ps {
+        // The non-saturation allowance is a *per-session-regulator*
+        // lemma: under the interleaved backend a packet can legitimately
+        // leave later (it may wait behind other sessions' holds in the
+        // shared FIFO), so the check is suspended there and the regulator
+        // invariants take over at release time.
+        if self.oracle.enabled() && !self.oracle.interleaved && lateness >= lmax_ps {
             // Non-saturation lemma: F̂ < F + L_MAX/C.
             nst.oracle_violations += 1;
             self.oracle.violate(ViolationKind::Lateness, || {
@@ -891,12 +1054,15 @@ impl ScalarNet {
         self.oracle.totals
     }
 
-    /// Drain-time check of ineq. 16: for every session with installed
+    /// Drain-time checks: (a) ineq. 16 — for every session with installed
     /// bounds, the end-to-end delay histogram must sit under the
     /// reference histogram shifted right by `β + α`, compared on absolute
-    /// counts. Returns the number of sessions that failed. Runs
-    /// automatically (in counting mode) when the network is dropped, if
-    /// not called explicitly first.
+    /// counts; (b) workload-conservation sanity (the Kruk et al.
+    /// heavy-traffic premise) — every node's accumulated busy time must
+    /// equal the service time of the bits it transmitted. Returns the
+    /// number of sessions plus nodes that failed. Runs automatically (in
+    /// counting mode) when the network is dropped, if not called
+    /// explicitly first.
     pub fn oracle_drain_check(&mut self) -> u64 {
         self.oracle.drained = true;
         if !self.oracle.enabled() {
@@ -930,6 +1096,44 @@ impl ScalarNet {
                         sid as u32,
                         0,
                         u32::MAX,
+                    );
+                }
+            }
+        }
+        // Workload conservation over [0, now], per node: busy time must
+        // equal the service time of the transmitted bits. Slack: ±1 ps
+        // per packet (each tx time rounds to the nearest picosecond, and
+        // so does the recomputed total) plus one L_MAX/C upward for a
+        // packet still on the wire at the horizon, whose open busy
+        // interval is closed virtually while its bits are not yet
+        // counted.
+        let now = self.now;
+        for (n, nst) in self.node_stats.iter_mut().enumerate() {
+            // lit-lint: allow(no-panic-hot-path, "node_stats and nodes are built to the same length; n enumerates the former")
+            let link = &self.nodes[n].link;
+            let service_ps =
+                Duration::from_bits_at_rate(nst.bits_transmitted, link.rate_bps).as_ps() as i128;
+            let busy_ps = nst.busy.busy_at(now).as_ps() as i128;
+            let count = nst.transmitted as i128;
+            let lmax_ps = link.lmax_time().as_ps() as i128;
+            if busy_ps < service_ps - count || busy_ps > service_ps + count + lmax_ps {
+                failed += 1;
+                nst.oracle_violations += 1;
+                self.oracle.violate(ViolationKind::WorkConservation, || {
+                    format!(
+                        "node {n}: busy {busy_ps} ps over [0, {now}] vs {service_ps} ps \
+                         of transmitted service ({} packets, allowance ±{count} ps \
+                         + {lmax_ps} ps in flight)",
+                        nst.transmitted
+                    )
+                });
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_violation(
+                        now,
+                        ViolationKind::WorkConservation.label(),
+                        u32::MAX,
+                        0,
+                        n as u32,
                     );
                 }
             }
@@ -1103,9 +1307,10 @@ impl Network {
         }
     }
 
-    /// Drain-time check of ineq. 16 (see [`ScalarNet::oracle_drain_check`]
-    /// internally); returns the number of sessions that failed. Runs
-    /// automatically in counting mode on drop if not called explicitly.
+    /// Drain-time checks: ineq. 16 per session with installed bounds and
+    /// workload-conservation sanity per node (`ScalarNet::oracle_drain_check`
+    /// internally); returns the number of sessions plus nodes that failed.
+    /// Runs automatically in counting mode on drop if not called explicitly.
     pub fn oracle_drain_check(&mut self) -> u64 {
         match &mut self.inner {
             Engine::Scalar(n) => n.oracle_drain_check(),

@@ -107,6 +107,20 @@ pub enum ViolationKind {
     JitterBound,
     /// The drain-time histogram comparison of ineq. 16 failed.
     CcdfBound,
+    /// An interleaved-regulator release exceeded the node's running
+    /// shaping-delay ceiling (the executable form of the Thomas–Le Boudec
+    /// service-curve property: FIFO + head gating can hold a packet no
+    /// longer than the largest eligibility offset `E − a` queued at or
+    /// ahead of it).
+    ShapingBound,
+    /// The interleaved regulator released out of FIFO order, released a
+    /// not-yet-eligible head, or its release instants went backwards
+    /// (releases must equal `max(last release, head E)`, non-decreasing).
+    RegulatorFifo,
+    /// Drain-time heavy-traffic sanity (Kruk et al.): a node's accumulated
+    /// busy time diverged from the service time of the work it actually
+    /// transmitted — the executor created or destroyed workload.
+    WorkConservation,
 }
 
 impl ViolationKind {
@@ -121,6 +135,9 @@ impl ViolationKind {
             ViolationKind::DelayBound => "delay-bound (ineq. 12/15)",
             ViolationKind::JitterBound => "jitter-bound (ineq. 17)",
             ViolationKind::CcdfBound => "ccdf-bound (ineq. 16)",
+            ViolationKind::ShapingBound => "shaping-bound (interleaved service curve)",
+            ViolationKind::RegulatorFifo => "regulator-fifo (interleaved release order)",
+            ViolationKind::WorkConservation => "work-conservation (heavy-traffic sanity)",
         }
     }
 }
@@ -134,6 +151,9 @@ impl std::fmt::Display for ViolationKind {
             ViolationKind::DelayBound => "delay-bound",
             ViolationKind::JitterBound => "jitter-bound",
             ViolationKind::CcdfBound => "ccdf-bound",
+            ViolationKind::ShapingBound => "shaping-bound",
+            ViolationKind::RegulatorFifo => "regulator-fifo",
+            ViolationKind::WorkConservation => "work-conservation",
         };
         f.write_str(s)
     }
@@ -154,6 +174,12 @@ pub struct OracleTotals {
     pub jitter_bound: u64,
     /// [`ViolationKind::CcdfBound`] count.
     pub ccdf_bound: u64,
+    /// [`ViolationKind::ShapingBound`] count.
+    pub shaping_bound: u64,
+    /// [`ViolationKind::RegulatorFifo`] count.
+    pub regulator_fifo: u64,
+    /// [`ViolationKind::WorkConservation`] count.
+    pub work_conservation: u64,
 }
 
 impl OracleTotals {
@@ -165,6 +191,9 @@ impl OracleTotals {
             + self.delay_bound
             + self.jitter_bound
             + self.ccdf_bound
+            + self.shaping_bound
+            + self.regulator_fifo
+            + self.work_conservation
     }
 
     fn slot(&mut self, kind: ViolationKind) -> &mut u64 {
@@ -175,6 +204,9 @@ impl OracleTotals {
             ViolationKind::DelayBound => &mut self.delay_bound,
             ViolationKind::JitterBound => &mut self.jitter_bound,
             ViolationKind::CcdfBound => &mut self.ccdf_bound,
+            ViolationKind::ShapingBound => &mut self.shaping_bound,
+            ViolationKind::RegulatorFifo => &mut self.regulator_fifo,
+            ViolationKind::WorkConservation => &mut self.work_conservation,
         }
     }
 }
@@ -195,6 +227,14 @@ pub fn global_violations() -> u64 {
 /// Reset the process-wide violation counter (test isolation).
 pub fn reset_global_violations() {
     GLOBAL_VIOLATIONS.store(0, Ordering::Relaxed);
+}
+
+/// Fold `n` violations detected *outside* any live `Network` into the
+/// process-wide counter — used by harness-level analytic cross-checks
+/// (e.g. the heavy-traffic ρ-ladder comparisons, which only exist across
+/// several finished runs) so a CLI sweep still exits non-zero.
+pub fn record_external_violations(n: u64) {
+    GLOBAL_VIOLATIONS.fetch_add(n, Ordering::Relaxed);
 }
 
 /// Set the process-default oracle mode (what `lit-repro --oracle` does).
@@ -221,6 +261,12 @@ pub(crate) struct OracleRt {
     pub(crate) last_eligible: Vec<Vec<Time>>,
     /// Whether the drain-time check already ran (guards the `Drop` hook).
     pub(crate) drained: bool,
+    /// Whether the network runs the interleaved regulator backend. Under
+    /// it the per-session lateness allowance no longer holds (a packet may
+    /// additionally wait behind other sessions' holds), so the `Lateness`
+    /// check is suspended and the `ShapingBound`/`RegulatorFifo` checks
+    /// take over at the regulator.
+    pub(crate) interleaved: bool,
 }
 
 impl OracleRt {
@@ -240,6 +286,7 @@ impl OracleRt {
                 Vec::new()
             },
             drained: false,
+            interleaved: false,
         }
     }
 

@@ -36,7 +36,8 @@
 //! order (which would depend on cross-shard push interleavings). Instead
 //! the shard drains the whole group of events sharing the current
 //! instant and sorts it by a content-derived tie key — `(kind, session,
-//! hop, seq)`, with kind ranked Inject < Arrive < Eligible < TxDone —
+//! hop, seq)`, with kind ranked Inject < Arrive < Eligible < RegFire <
+//! TxDone —
 //! which is unique per event and independent of arrival order. Events a
 //! shard *generates at the current instant* (zero-propagation forwards,
 //! next-emission injects at the same tick) are appended to the group
@@ -92,7 +93,9 @@
 //! [`crate::Network::shard_count`].
 
 use crate::arena::{PacketArena, PacketRef};
-use crate::discipline::{Discipline, DisciplineFactory, ScheduleDecision};
+use crate::discipline::{
+    Discipline, DisciplineFactory, RegFifo, RegulatorBackend, ScheduleDecision,
+};
 use crate::equeue::EligibleQueue;
 use crate::network::NetworkBuilder;
 use crate::oracle::{ccdf_shift_violation, OracleMode, OracleRt, OracleTotals, ViolationKind};
@@ -165,6 +168,9 @@ enum Ev {
     /// A regulated packet becomes eligible; `at` is the instant the
     /// regulator computed, re-checked by the oracle on release.
     Eligible { p: PacketRef, key: u128, at: Time },
+    /// The head of `node`'s shared interleaved-regulator FIFO reaches its
+    /// eligibility instant; `at` is re-checked by the oracle on firing.
+    RegFire { node: u32, at: Time },
     /// The node finished transmitting its current packet.
     TxDone { node: u32 },
 }
@@ -187,7 +193,8 @@ fn tie_key(arena: &PacketArena, ev: &Ev) -> (u8, u32, u32, u64) {
         Ev::Eligible { p, .. } => arena.get(p).map_or((2, u32::MAX, u32::MAX, u64::MAX), |k| {
             (2, k.session.0, k.hop, k.seq)
         }),
-        Ev::TxDone { node } => (3, node, 0, 0),
+        Ev::RegFire { node, .. } => (3, node, 0, 0),
+        Ev::TxDone { node } => (4, node, 0, 0),
     }
 }
 
@@ -197,6 +204,9 @@ struct NodeSt {
     discipline: Box<dyn Discipline>,
     queue: EligibleQueue<PacketRef>,
     current: Option<PacketRef>,
+    /// Shared per-hop regulator FIFO, used only under
+    /// [`RegulatorBackend::Interleaved`] (see the scalar engine's twin).
+    fifo: RegFifo<PacketRef>,
 }
 
 /// The injector of one session, owned by the shard of its first hop.
@@ -229,6 +239,11 @@ struct Shard {
     stats: Vec<Option<SessionStats>>,
     /// Route table (node, assignment) per session, shared read-only.
     hops: Arc<Vec<Vec<(u32, DelayAssignment)>>>,
+    /// Per-session jitter-control flags, shared read-only (the
+    /// interleaved join rule needs them without owning the specs).
+    jc: Arc<Vec<bool>>,
+    /// Regulator backend selected at build, identical on every shard.
+    regulator: RegulatorBackend,
     /// Node → owning shard, shared read-only.
     owner: Arc<Vec<u32>>,
     oracle: OracleRt,
@@ -295,6 +310,7 @@ impl Shard {
                     Ev::Arrive { p } if self.batch => i = self.arrive_batched(p, i, &mut group),
                     Ev::Arrive { p } => self.arrive(p, &mut group),
                     Ev::Eligible { p, key, at } => self.eligible(p, key, at, &mut group),
+                    Ev::RegFire { node, at } => self.reg_fire(node, at, &mut group),
                     Ev::TxDone { node } => self.tx_done(node, &mut group),
                 }
             }
@@ -417,7 +433,44 @@ impl Shard {
                 });
             }
         }
-        if decision.eligible > now {
+        if self.regulator == RegulatorBackend::Interleaved {
+            // Interleaved join rule, mirroring the scalar engine: a packet
+            // enters the shared FIFO when it must be held (`E > now`) or
+            // when it is jitter-controlled and the FIFO already holds
+            // earlier packets (overtaking them would break the
+            // regulator's FIFO contract). Immediately eligible non-jc
+            // packets bypass the regulator, as unshaped traffic does in
+            // TSN ATS.
+            // lit-lint: allow(no-panic-hot-path, "jc table has one flag per session, installed at build")
+            let jc = self.jc[sid];
+            let was_empty = {
+                // lit-lint: allow(no-panic-hot-path, "executor invariant: a packet only arrives at nodes its owner shard holds")
+                let node = self.nodes[node_idx]
+                    .as_mut()
+                    // lit-lint: allow(no-panic-hot-path, "arriving packets only target owned nodes")
+                    .expect("arrival at unowned node");
+                if decision.eligible > now || (jc && !node.fifo.queue.is_empty()) {
+                    let was_empty = node.fifo.queue.is_empty();
+                    node.fifo.join(p, decision.key, decision.eligible, now);
+                    Some(was_empty)
+                } else {
+                    None
+                }
+            };
+            match was_empty {
+                // Joining an empty FIFO implies `E > now`, so the head
+                // timer is always armed strictly in the future.
+                Some(true) => self.events.push(
+                    decision.eligible,
+                    Ev::RegFire {
+                        node: node_idx as u32,
+                        at: decision.eligible,
+                    },
+                ),
+                Some(false) => {}
+                None => self.enqueue_eligible(node_idx as u32, p, decision.key, group),
+            }
+        } else if decision.eligible > now {
             self.events.push(
                 decision.eligible,
                 Ev::Eligible {
@@ -535,6 +588,72 @@ impl Shard {
         self.enqueue_eligible(node_idx, p, key, group);
     }
 
+    /// The head of `node_idx`'s interleaved-regulator FIFO reached its
+    /// eligibility instant: release the head and every successor whose own
+    /// eligibility has also passed, then re-arm the timer at the new
+    /// head's instant. Mirrors the scalar engine's `reg_fire` — same
+    /// release-order and shaping-ceiling checks — minus probe hooks (a
+    /// probe forces scalar).
+    fn reg_fire(&mut self, node_idx: u32, at: Time, group: &mut Vec<Ev>) {
+        if self.oracle.enabled() && self.now != at {
+            let now = self.now;
+            self.oracle.violate(ViolationKind::ReleaseTime, || {
+                format!("node {node_idx}: regulator timer fired at {now}, was armed for {at}")
+            });
+        }
+        loop {
+            // lit-lint: allow(no-panic-hot-path, "executor invariant: RegFire events name nodes this shard owns")
+            let node = self.nodes[node_idx as usize]
+                .as_mut()
+                // lit-lint: allow(no-panic-hot-path, "RegFire only targets owned nodes")
+                .expect("RegFire at unowned node");
+            let Some(head) = node.fifo.queue.front() else {
+                break;
+            };
+            if head.eligible > self.now {
+                let next = head.eligible;
+                self.events.push(
+                    next,
+                    Ev::RegFire {
+                        node: node_idx,
+                        at: next,
+                    },
+                );
+                break;
+            }
+            // lit-lint: allow(no-panic-hot-path, "front() above proved the queue non-empty")
+            let entry = node.fifo.queue.pop_front().expect("non-empty fifo");
+            let expected = node.fifo.last_release.max(entry.eligible);
+            let ceiling_ps = node.fifo.max_hold_ps;
+            node.fifo.last_release = self.now;
+            let now = self.now;
+            if self.oracle.enabled() {
+                let (esid, eseq) = self
+                    .arena
+                    .get(entry.item)
+                    .map_or((u32::MAX, u64::MAX), |k| (k.session.0, k.seq));
+                if now != expected {
+                    self.oracle.violate(ViolationKind::RegulatorFifo, || {
+                        format!(
+                            "node {node_idx} session {esid} seq {eseq}: released at {now}, \
+                             interleaved regulator requires max(last release, E) = {expected}"
+                        )
+                    });
+                }
+                let shaping_ps = now.checked_since(entry.eligible).map_or(0, |d| d.as_ps());
+                if shaping_ps > ceiling_ps {
+                    self.oracle.violate(ViolationKind::ShapingBound, || {
+                        format!(
+                            "node {node_idx} session {esid} seq {eseq}: held {shaping_ps} ps \
+                             past its eligibility, service-curve ceiling is {ceiling_ps} ps"
+                        )
+                    });
+                }
+            }
+            self.enqueue_eligible(node_idx, entry.item, entry.key, group);
+        }
+    }
+
     /// Put an eligible packet in the node's transmission queue and start
     /// the link if idle.
     fn enqueue_eligible(&mut self, node_idx: u32, p: PacketRef, key: u128, group: &mut Vec<Ev>) {
@@ -617,7 +736,12 @@ impl Shard {
         nst.bits_transmitted += len_bits as u64;
         let lateness = finish.as_ps() as i128 - deadline.as_ps() as i128;
         nst.max_lateness_ps = nst.max_lateness_ps.max(lateness);
-        if self.oracle.enabled() && lateness >= lmax_ps {
+        // The non-saturation allowance is a *per-session-regulator*
+        // lemma: under the interleaved backend a packet can legitimately
+        // leave later (it may wait behind other sessions' holds in the
+        // shared FIFO), so the check is suspended there and the regulator
+        // invariants take over at release time.
+        if self.oracle.enabled() && !self.oracle.interleaved && lateness >= lmax_ps {
             // Non-saturation lemma: F̂ < F + L_MAX/C.
             nst.oracle_violations += 1;
             self.oracle.violate(ViolationKind::Lateness, || {
@@ -886,7 +1010,10 @@ impl ShardedNet {
                 .collect(),
         );
 
-        let batch = b.batch_arrivals && b.oracle.mode == OracleMode::Off;
+        let batch = b.batch_arrivals
+            && b.oracle.mode == OracleMode::Off
+            && b.regulator == RegulatorBackend::PerSession;
+        let interleaved = b.regulator == RegulatorBackend::Interleaved;
         let mut shards: Vec<Shard> = {
             let mut rx_iter = rxs.into_iter();
             let mut tx_iter = txs.into_iter();
@@ -908,6 +1035,7 @@ impl ShardedNet {
                                 discipline: factory(link),
                                 queue: EligibleQueue::new(b.queue_kind),
                                 current: None,
+                                fifo: RegFifo::new(),
                             })
                         })
                         .collect(),
@@ -915,8 +1043,14 @@ impl ShardedNet {
                     sessions: (0..session_hops.len()).map(|_| None).collect(),
                     stats: (0..session_hops.len()).map(|_| None).collect(),
                     hops: Arc::new(Vec::new()), // installed below
+                    jc: Arc::new(Vec::new()),   // installed below
+                    regulator: b.regulator,
                     owner: Arc::clone(&owner),
-                    oracle: OracleRt::new(b.oracle, &session_hops),
+                    oracle: {
+                        let mut o = OracleRt::new(b.oracle, &session_hops);
+                        o.interleaved = interleaved;
+                        o
+                    },
                     ref_max_ps: vec![i128::MIN; session_hops.len()],
                     batch,
                     outboxes: tx_iter.next().unwrap_or_default(),
@@ -978,8 +1112,10 @@ impl ShardedNet {
             hops_tab.push(def.hops);
         }
         let hops = Arc::new(hops_tab);
+        let jc: Arc<Vec<bool>> = Arc::new(specs.iter().map(|s| s.jitter_control).collect());
         for sh in &mut shards {
             sh.hops = Arc::clone(&hops);
+            sh.jc = Arc::clone(&jc);
         }
 
         let merged_sessions = specs
@@ -998,7 +1134,11 @@ impl ShardedNet {
             now: Time::ZERO,
             merged_sessions,
             merged_nodes: (0..n_nodes).map(|_| NodeStats::new()).collect(),
-            oracle: OracleRt::new(b.oracle, &session_hops),
+            oracle: {
+                let mut o = OracleRt::new(b.oracle, &session_hops);
+                o.interleaved = interleaved;
+                o
+            },
         }
     }
 
@@ -1187,14 +1327,18 @@ impl ShardedNet {
             t.delay_bound += o.delay_bound;
             t.jitter_bound += o.jitter_bound;
             t.ccdf_bound += o.ccdf_bound;
+            t.shaping_bound += o.shaping_bound;
+            t.regulator_fifo += o.regulator_fifo;
+            t.work_conservation += o.work_conservation;
         }
         t
     }
 
-    /// Drain-time check of ineq. 16 over the *merged* per-session
-    /// histograms (both sides of the comparison are whole-session, so it
-    /// must run post-merge). Per-session violation marks land on the
-    /// delivery shard's row so they survive future re-merges.
+    /// Drain-time checks over the *merged* view: ineq. 16 on the
+    /// per-session histograms and workload conservation on the per-node
+    /// busy clocks (both sides of each comparison are whole-run, so they
+    /// must run post-merge). Violation marks land on the owning shard's
+    /// row so they survive future re-merges.
     pub fn oracle_drain_check(&mut self) -> u64 {
         self.oracle.drained = true;
         if !self.oracle.enabled() {
@@ -1233,6 +1377,50 @@ impl ShardedNet {
                     if let Some(row) = self.shards.get_mut(sh).and_then(|s| s.stats[sid].as_mut()) {
                         row.oracle_violations += 1;
                     }
+                }
+            }
+        }
+        // Workload conservation over [0, now], per node: busy time must
+        // equal the service time of the transmitted bits. Slack: ±1 ps
+        // per packet (each tx time rounds to the nearest picosecond, and
+        // so does the recomputed total) plus one L_MAX/C upward for a
+        // packet still on the wire at the horizon, whose open busy
+        // interval is closed virtually while its bits are not yet
+        // counted. Mirrors the scalar engine's check; marks persist on
+        // the owning shard's row.
+        let now = self.now;
+        let n_nodes = self.links.len();
+        let nshards = self.shards.len();
+        for n in 0..n_nodes {
+            let (busy_ps, service_ps, count, lmax_ps, transmitted) = {
+                // lit-lint: allow(no-panic-hot-path, "merged_nodes and links are built to the same length; n enumerates both")
+                let nst = &self.merged_nodes[n];
+                // lit-lint: allow(no-panic-hot-path, "links has one entry per node")
+                let link = &self.links[n];
+                (
+                    nst.busy.busy_at(now).as_ps() as i128,
+                    Duration::from_bits_at_rate(nst.bits_transmitted, link.rate_bps).as_ps()
+                        as i128,
+                    nst.transmitted as i128,
+                    link.lmax_time().as_ps() as i128,
+                    nst.transmitted,
+                )
+            };
+            if busy_ps < service_ps - count || busy_ps > service_ps + count + lmax_ps {
+                failed += 1;
+                self.oracle.violate(ViolationKind::WorkConservation, || {
+                    format!(
+                        "node {n}: busy {busy_ps} ps over [0, {now}] vs {service_ps} ps \
+                         of transmitted service ({transmitted} packets, allowance ±{count} ps \
+                         + {lmax_ps} ps in flight)"
+                    )
+                });
+                // lit-lint: allow(no-panic-hot-path, "n enumerates merged_nodes")
+                self.merged_nodes[n].oracle_violations += 1;
+                let sh = owner_of(n, n_nodes, nshards);
+                if let Some(shard) = self.shards.get_mut(sh) {
+                    // lit-lint: allow(no-panic-hot-path, "node_stats is sized to the full node table")
+                    shard.node_stats[n].oracle_violations += 1;
                 }
             }
         }

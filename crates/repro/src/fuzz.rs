@@ -116,6 +116,7 @@ pub fn generate(seed: u64) -> Scenario {
             d: None,   // default d = L/r, ditto
             shape,
             source,
+            path: None,
         });
     }
     Scenario {
@@ -126,6 +127,8 @@ pub fn generate(seed: u64) -> Scenario {
         backend: EventBackend::Heap,
         seed: rng.next_u64(),
         sessions,
+        generators: Vec::new(),
+        regulator: lit_net::RegulatorBackend::PerSession,
         horizon: Duration::from_ms(200) + Duration::from_ms(rng.below(801)),
     }
 }
@@ -151,6 +154,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         oracle: OracleMode::Count,
         batch: false,
         shards: None,
+        regulator: None,
     });
     lit_heap.oracle_drain_check();
     let violations = lit_heap.oracle_violations();
@@ -167,6 +171,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         oracle: OracleMode::Off,
         batch: false,
         shards: None,
+        regulator: None,
     });
     if snapshot(&calendar, &cal_ids) != base {
         return Err("calendar event backend diverges from heap".into());
@@ -177,6 +182,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         oracle: OracleMode::Off,
         batch: true,
         shards: None,
+        regulator: None,
     });
     if snapshot(&wheel, &wheel_ids) != base {
         return Err("wheel backend with batched arrivals diverges from heap".into());
@@ -188,6 +194,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         oracle: OracleMode::Off,
         batch: false,
         shards: None,
+        regulator: None,
     });
     if snapshot(&vc_net, &vc_ids) != base {
         return Err("virtualclock diverges from leave-in-time with d = L/r".into());
@@ -202,6 +209,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         oracle: OracleMode::Count,
         batch: false,
         shards: Some(2),
+        regulator: None,
     });
     let (mut sh7, sh7_ids) = sc.run_opts(&RunOptions {
         backend: Some(EventBackend::Heap),
@@ -209,6 +217,7 @@ pub fn check(sc: &Scenario) -> Result<(), String> {
         oracle: OracleMode::Count,
         batch: false,
         shards: Some(7),
+        regulator: None,
     });
     sh2.oracle_drain_check();
     sh7.oracle_drain_check();
@@ -297,6 +306,7 @@ pub fn trace_arms(sc: &Scenario) -> Vec<(String, Vec<TraceEvent>)> {
                     oracle: OracleMode::Off,
                     batch: false,
                     shards: None,
+                    regulator: None,
                 },
                 Some(Box::new(ObsProbe::new(BUNDLE_TAIL))),
             );
@@ -438,7 +448,10 @@ mod tests {
                     len: 424,
                     offset: Duration::from_ns(0),
                 },
+                path: None,
             }],
+            generators: Vec::new(),
+            regulator: lit_net::RegulatorBackend::PerSession,
             horizon: Duration::from_ms(200),
         };
         let why = check(&sc).expect_err("jc session must diverge from VirtualClock");
@@ -475,6 +488,7 @@ mod tests {
                 oracle: OracleMode::Off,
                 batch: false,
                 shards: None,
+                regulator: None,
             });
             for id in &ids {
                 let st = net.session_stats(*id);

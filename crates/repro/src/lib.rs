@@ -12,6 +12,7 @@
 
 pub mod experiments;
 pub mod fuzz;
+pub mod heavy;
 pub mod report;
 pub mod scenario;
 pub mod topology;

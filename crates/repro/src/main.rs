@@ -58,15 +58,23 @@ struct Args {
     /// `--ac3 exact|fast`: vet scenario sessions through per-node
     /// procedure-3 admission before running, dropping rejected sessions.
     ac3: Option<Ac3Backend>,
+    /// `--ladder r1,r2,...`: sweep the scenario's `generate` stanzas over
+    /// these offered loads with heavy-traffic cross-checks instead of a
+    /// single run.
+    ladder: Option<Vec<u32>>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: lit-repro [--quick] [--seconds N] [--seed N] [--threads N] [--shards N] [--replicas N] [--out DIR] \
-         [--oracle off|count|panic] [--metrics FILE] [--trace FILE] [--ac3 exact|fast] \
+         [--oracle off|count|panic] [--regulator per-session|interleaved] [--metrics FILE] [--trace FILE] \
+         [--ac3 exact|fast] [--ladder R1,R2,...] \
          <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14-17|fig14-17-ac1|tables|firewall|ablation-queue|heavytail|scenario FILE|all>\n\
          --ac3 applies to `scenario`: establishment is vetted per node by procedure 3 \
-         (the exact enumerator or the incremental fast service) and rejected sessions are dropped"
+         (the exact enumerator or the incremental fast service) and rejected sessions are dropped\n\
+         --ladder applies to `scenario`: re-target the file's `generate` stanzas at each offered \
+         load (e.g. 0.5,0.8,0.95,1.2) and cross-check utilization, drainage and the delay frontier\n\
+         --regulator overrides the eligibility-regulator backend for every network built"
     );
     std::process::exit(2);
 }
@@ -83,6 +91,7 @@ fn parse_args() -> Args {
     let mut metrics = None;
     let mut trace = None;
     let mut ac3 = None;
+    let mut ladder = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let num = |it: &mut dyn Iterator<Item = String>| -> u64 {
@@ -113,6 +122,20 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse::<OracleMode>().ok())
                     .unwrap_or_else(|| usage());
                 lit_net::oracle::set_global_mode(mode);
+            }
+            "--regulator" => {
+                let backend = it
+                    .next()
+                    .and_then(|v| v.parse::<lit_net::RegulatorBackend>().ok())
+                    .unwrap_or_else(|| usage());
+                lit_net::set_global_regulator(backend);
+            }
+            "--ladder" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                ladder = Some(lit_repro::heavy::parse_ladder(&spec).unwrap_or_else(|e| {
+                    eprintln!("--ladder: {e}");
+                    std::process::exit(2);
+                }));
             }
             c if !c.starts_with('-') && command.is_none() => command = Some(c.to_string()),
             c if !c.starts_with('-') => extra.push(c.to_string()),
@@ -148,6 +171,7 @@ fn parse_args() -> Args {
         metrics,
         trace,
         ac3,
+        ladder,
     }
 }
 
@@ -345,6 +369,33 @@ fn main() -> ExitCode {
         let path = args.extra.first().cloned().unwrap_or_else(|| usage());
         return match Scenario::load(&path) {
             Ok(sc) => {
+                if let Some(rungs) = &args.ladder {
+                    let opts = lit_repro::scenario::RunOptions {
+                        oracle: lit_net::oracle::global_mode(),
+                        ..Default::default()
+                    };
+                    let report = lit_repro::heavy::run_ladder(&sc, rungs, &opts);
+                    emit(
+                        &args.out,
+                        "scenario_ladder",
+                        &lit_repro::heavy::table(&report),
+                    );
+                    for f in &report.failures {
+                        eprintln!("ladder: {f}");
+                    }
+                    write_obs(&args);
+                    report_shard_fallbacks();
+                    let verdict = oracle_verdict();
+                    return if report.failures.is_empty() {
+                        verdict
+                    } else {
+                        eprintln!("ladder: {} cross-check failure(s)", report.failures.len());
+                        ExitCode::FAILURE
+                    };
+                }
+                // Expand `generate` stanzas up front so AC3 vetting and
+                // the report index the concrete session list.
+                let sc = sc.expanded();
                 let sc = match args.ac3 {
                     Some(backend) => match vet_scenario(&sc, backend) {
                         Some(sc) => sc,

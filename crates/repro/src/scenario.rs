@@ -24,8 +24,22 @@
 //! `cbr(gap,len[,offset])`, `burst(period,count,len)`.
 //!
 //! Further directives: `backend heap|calendar|wheel` selects the
-//! event-set implementation (default heap; all deliver identically). A
-//! parsed
+//! event-set implementation (default heap; all deliver identically);
+//! `regulator per-session|interleaved` selects the eligibility-regulator
+//! backend (default per-session — see
+//! [`lit_net::RegulatorBackend`]). A session may give an explicit node
+//! list where `route=A..B` would be contiguous: `session path=0,3,7 ...`.
+//!
+//! `generate` stanzas expand into whole session populations at a target
+//! offered load ρ (see [`Scenario::expanded`]):
+//!
+//! ```text
+//! generate tandem(n=8,rho=0.95,through=4,cross=4,len=424)
+//! generate fattree(depth=2,fanout=4,rho=0.9,len=424)
+//! generate wan(nodes=12,flows=32,rho=0.8,len=424)
+//! ```
+//!
+//! A parsed
 //! [`Scenario`] serializes back to text with [`Scenario::to_text`] — the
 //! differential fuzzer uses this to write minimized failures as
 //! replayable files.
@@ -40,7 +54,7 @@ use lit_core::{
 };
 use lit_net::{
     DelayAssignment, EventBackend, LinkParams, Network, NetworkBuilder, OracleConfig, OracleMode,
-    QueueKind, SessionId, SessionSpec, StatsConfig,
+    QueueKind, RegulatorBackend, SessionId, SessionSpec, StatsConfig,
 };
 use lit_sim::{Duration, Time};
 use lit_traffic::{
@@ -88,6 +102,31 @@ pub(crate) struct SessionLine {
     pub(crate) d: Option<Duration>,
     pub(crate) shape: Option<(u64, u64)>,
     pub(crate) source: SourceSpec,
+    /// Explicit node list (`path=0,3,7`); `None` means the contiguous
+    /// `route=first..last`.
+    pub(crate) path: Option<Vec<usize>>,
+}
+
+impl SessionLine {
+    /// The node indices this session visits, in order.
+    pub(crate) fn route_nodes(&self) -> Vec<usize> {
+        match &self.path {
+            Some(p) => p.clone(),
+            None => (self.first..=self.last).collect(),
+        }
+    }
+
+    /// Human-readable route for report tables.
+    pub(crate) fn route_desc(&self) -> String {
+        match &self.path {
+            Some(p) => p
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("-"),
+            None => format!("{}..{}", self.first, self.last),
+        }
+    }
 }
 
 /// A parsed source description.
@@ -115,6 +154,329 @@ pub(crate) enum SourceSpec {
     },
 }
 
+/// Offered load ρ in basis points from a decimal literal (`0.95` →
+/// `9_500`). Loads above 2.0 are rejected — far past saturation nothing
+/// new is learned and backlogs explode.
+pub(crate) fn parse_rho(s: &str) -> Result<u32, String> {
+    let v: f64 = s.parse().map_err(|_| format!("bad rho '{s}'"))?;
+    if !v.is_finite() || v <= 0.0 || v > 2.0 {
+        return Err(format!("rho '{s}' out of range (0, 2]"));
+    }
+    Ok((v * 10_000.0).round() as u32)
+}
+
+/// Inverse of [`parse_rho`]: the shortest decimal that parses back to
+/// the same basis points.
+pub(crate) fn fmt_rho(bp: u32) -> String {
+    if bp.is_multiple_of(10_000) {
+        return format!("{}", bp / 10_000);
+    }
+    let mut frac = format!("{:04}", bp % 10_000);
+    while frac.ends_with('0') {
+        frac.pop();
+    }
+    format!("{}.{frac}", bp / 10_000)
+}
+
+/// ρ·C split evenly over the bottleneck's session count, floored so the
+/// total reservation never exceeds ρ·C, and clamped to ≥ 1 bps.
+fn per_session_rate(rate_bps: u64, rho_bp: u32, bottleneck_sessions: usize) -> u64 {
+    let r = (rate_bps as u128 * rho_bp as u128) / (10_000u128 * bottleneck_sessions.max(1) as u128);
+    r.max(1) as u64
+}
+
+/// One generated CBR session: reserved rate `r`, packet length `len`
+/// bits, inter-packet gap rounded *up* to whole nanoseconds so the
+/// emitted rate never exceeds the reservation (the traffic is
+/// conformant whenever the reservations are admissible), and a
+/// per-session phase offset `1 + 37·idx` ns so no two generated sources
+/// tick in lockstep.
+fn cbr_line(
+    first: usize,
+    last: usize,
+    path: Option<Vec<usize>>,
+    r: u64,
+    len: u32,
+    jc: bool,
+    idx: usize,
+) -> SessionLine {
+    let gap_ns = (len as u128 * 1_000_000_000).div_ceil(r as u128) as u64;
+    let offset_ns = 1 + idx as u64 * 37;
+    SessionLine {
+        first,
+        last,
+        rate: r,
+        jc,
+        d: None,
+        shape: None,
+        source: SourceSpec::Cbr {
+            gap: Duration::from_ns(gap_ns),
+            len,
+            offset: Duration::from_ns(offset_ns),
+        },
+        path,
+    }
+}
+
+/// A `generate` stanza: a parameterized scenario family that
+/// [`Scenario::expanded`] resolves into concrete CBR session lines at a
+/// target offered load ρ.
+///
+/// Every family sizes each session's reservation as `ρ·C / m` where `m`
+/// is the session count on the *bottleneck* link, so the busiest link
+/// carries an offered load of exactly ρ — admissible for ρ ≤ 1, an
+/// overload fixture past it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum GenSpec {
+    /// `tandem(n,rho[,through,cross,len])`: an `n`-hop line with
+    /// `through` full-route jitter-controlled sessions plus `cross`
+    /// single-hop sessions per node — every link carries
+    /// `through + cross` sessions (the paper's fig. 8 CROSS shape,
+    /// scaled).
+    Tandem {
+        n: usize,
+        rho_bp: u32,
+        through: usize,
+        cross: usize,
+        len: u32,
+    },
+    /// `fattree(depth,fanout,rho[,len])`: the uplinks of a complete
+    /// `fanout`-ary tree of the given depth as server nodes (level 1 =
+    /// just below the root, labeled breadth-first), one flow per leaf
+    /// routed leaf → root. The level-1 uplinks are the bottleneck,
+    /// carrying `fanout^(depth-1)` flows each.
+    FatTree {
+        depth: usize,
+        fanout: usize,
+        rho_bp: u32,
+        len: u32,
+    },
+    /// `wan(nodes,flows,rho[,len])`: `flows` deterministic pseudorandom
+    /// forward paths over a `nodes`-link line (see [`wan_path`]); rates
+    /// are normalized by the most-loaded link.
+    Wan {
+        nodes: usize,
+        flows: usize,
+        rho_bp: u32,
+        len: u32,
+    },
+}
+
+impl GenSpec {
+    /// Parse the token after `generate`, e.g.
+    /// `tandem(n=8,rho=0.95,through=4,cross=4,len=424)`.
+    pub(crate) fn parse_stanza(tok: &str) -> Result<GenSpec, String> {
+        let (name, args) = call(tok).ok_or_else(|| format!("bad generator syntax '{tok}'"))?;
+        let allow = |allowed: &[&str]| -> Result<(), String> {
+            for (k, _) in &args {
+                if !allowed.contains(k) {
+                    return Err(format!("generate {name}: unknown option '{k}'"));
+                }
+            }
+            Ok(())
+        };
+        let get = |key: &str| args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        let req = |key: &str| -> Result<usize, String> {
+            get(key)
+                .ok_or_else(|| format!("generate {name}: missing '{key}'"))?
+                .parse()
+                .map_err(|_| format!("generate {name}: bad '{key}'"))
+        };
+        let opt = |key: &str, default: usize| -> Result<usize, String> {
+            match get(key) {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("generate {name}: bad '{key}'")),
+                None => Ok(default),
+            }
+        };
+        let rho_bp =
+            parse_rho(get("rho").ok_or_else(|| format!("generate {name}: missing 'rho'"))?)?;
+        let len = opt("len", 424)?;
+        if len == 0 || len > 65_536 {
+            return Err(format!("generate {name}: len out of range [1, 65536]"));
+        }
+        let len = len as u32;
+        Ok(match name {
+            "tandem" => {
+                allow(&["n", "rho", "through", "cross", "len"])?;
+                let n = req("n")?;
+                let through = opt("through", 4)?;
+                let cross = opt("cross", 4)?;
+                if n == 0 || n > 1_024 {
+                    return Err("generate tandem: n out of range [1, 1024]".into());
+                }
+                if through + cross == 0 || through > 4_096 || cross > 256 {
+                    return Err("generate tandem: session counts out of range".into());
+                }
+                GenSpec::Tandem {
+                    n,
+                    rho_bp,
+                    through,
+                    cross,
+                    len,
+                }
+            }
+            "fattree" => {
+                allow(&["depth", "fanout", "rho", "len"])?;
+                let depth = req("depth")?;
+                let fanout = req("fanout")?;
+                if !(1..=6).contains(&depth) || !(2..=16).contains(&fanout) {
+                    return Err("generate fattree: want depth in [1, 6], fanout in [2, 16]".into());
+                }
+                let g = GenSpec::FatTree {
+                    depth,
+                    fanout,
+                    rho_bp,
+                    len,
+                };
+                if g.num_nodes() > 4_096 {
+                    return Err("generate fattree: more than 4096 nodes".into());
+                }
+                g
+            }
+            "wan" => {
+                allow(&["nodes", "flows", "rho", "len"])?;
+                let nodes = req("nodes")?;
+                let flows = req("flows")?;
+                if nodes == 0 || nodes > 4_096 || flows == 0 || flows > 4_096 {
+                    return Err("generate wan: nodes/flows out of range [1, 4096]".into());
+                }
+                GenSpec::Wan {
+                    nodes,
+                    flows,
+                    rho_bp,
+                    len,
+                }
+            }
+            other => return Err(format!("unknown generator family '{other}'")),
+        })
+    }
+
+    /// Canonical stanza text (everything after `generate `).
+    fn to_text(&self) -> String {
+        match *self {
+            GenSpec::Tandem {
+                n,
+                rho_bp,
+                through,
+                cross,
+                len,
+            } => format!(
+                "tandem(n={n},rho={},through={through},cross={cross},len={len})",
+                fmt_rho(rho_bp)
+            ),
+            GenSpec::FatTree {
+                depth,
+                fanout,
+                rho_bp,
+                len,
+            } => format!(
+                "fattree(depth={depth},fanout={fanout},rho={},len={len})",
+                fmt_rho(rho_bp)
+            ),
+            GenSpec::Wan {
+                nodes,
+                flows,
+                rho_bp,
+                len,
+            } => format!(
+                "wan(nodes={nodes},flows={flows},rho={},len={len})",
+                fmt_rho(rho_bp)
+            ),
+        }
+    }
+
+    /// How many server nodes this family needs.
+    pub(crate) fn num_nodes(&self) -> usize {
+        match *self {
+            GenSpec::Tandem { n, .. } => n,
+            GenSpec::FatTree { depth, fanout, .. } => {
+                crate::topology::fattree_num_nodes(depth, fanout)
+            }
+            GenSpec::Wan { nodes, .. } => nodes,
+        }
+    }
+
+    /// Resolve into concrete session lines. `base_idx` is the index of
+    /// the first generated session in the combined list (phase offsets
+    /// continue across stanzas); `rate_bps` is the link capacity C.
+    pub(crate) fn expand(&self, base_idx: usize, rate_bps: u64) -> Vec<SessionLine> {
+        match *self {
+            GenSpec::Tandem {
+                n,
+                rho_bp,
+                through,
+                cross,
+                len,
+            } => {
+                let r = per_session_rate(rate_bps, rho_bp, through + cross);
+                let mut out = Vec::new();
+                for _ in 0..through {
+                    out.push(cbr_line(0, n - 1, None, r, len, true, base_idx + out.len()));
+                }
+                for node in 0..n {
+                    for _ in 0..cross {
+                        out.push(cbr_line(
+                            node,
+                            node,
+                            None,
+                            r,
+                            len,
+                            false,
+                            base_idx + out.len(),
+                        ));
+                    }
+                }
+                out
+            }
+            GenSpec::FatTree {
+                depth,
+                fanout,
+                rho_bp,
+                len,
+            } => {
+                let paths = crate::topology::fattree_uplink_paths(depth, fanout);
+                let r = per_session_rate(rate_bps, rho_bp, fanout.pow(depth as u32 - 1));
+                paths
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let (first, last) = (p[0], p[p.len() - 1]);
+                        let path = (p.len() > 1).then_some(p);
+                        cbr_line(first, last, path, r, len, false, base_idx + i)
+                    })
+                    .collect()
+            }
+            GenSpec::Wan {
+                nodes,
+                flows,
+                rho_bp,
+                len,
+            } => {
+                let paths = crate::topology::wan_paths(flows, nodes);
+                let mut load = vec![0usize; nodes];
+                for p in &paths {
+                    for &n in p {
+                        load[n] += 1;
+                    }
+                }
+                let m = load.iter().copied().max().unwrap_or(0);
+                let r = per_session_rate(rate_bps, rho_bp, m);
+                paths
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let (first, last) = (p[0], p[p.len() - 1]);
+                        let path = (p.len() > 1).then_some(p);
+                        cbr_line(first, last, path, r, len, false, base_idx + i)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
 /// A fully parsed scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -125,6 +487,11 @@ pub struct Scenario {
     pub(crate) backend: EventBackend,
     pub(crate) seed: u64,
     pub(crate) sessions: Vec<SessionLine>,
+    /// Unexpanded `generate` stanzas, in file order. Round-trips through
+    /// [`Scenario::to_text`]; [`Scenario::expanded`] resolves them.
+    pub(crate) generators: Vec<GenSpec>,
+    /// Eligibility-regulator backend (`regulator` directive).
+    pub(crate) regulator: RegulatorBackend,
     pub(crate) horizon: Duration,
 }
 
@@ -189,6 +556,9 @@ pub struct RunOptions {
     /// follows the process-global `--shards` flag. Results are identical
     /// for every value; a probe or panic-mode oracle forces scalar.
     pub shards: Option<usize>,
+    /// Regulator-backend override; `None` follows the process-global
+    /// `--regulator` flag, then the scenario's `regulator` directive.
+    pub regulator: Option<RegulatorBackend>,
 }
 
 /// Split `key=value` (value may be absent for flags).
@@ -259,6 +629,8 @@ impl Scenario {
         let mut backend = EventBackend::Heap;
         let mut seed = 0u64;
         let mut sessions = Vec::new();
+        let mut generators = Vec::new();
+        let mut regulator = RegulatorBackend::PerSession;
         let mut horizon = None;
 
         let err = |line: usize, message: String| ParseError { line, message };
@@ -343,6 +715,18 @@ impl Scenario {
                         _ => return Err(err(ln, format!("unknown queue kind '{kind}'"))),
                     };
                 }
+                "regulator" => {
+                    let name = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "regulator: missing backend".into()))?;
+                    regulator = name.parse().map_err(|e: String| err(ln, e))?;
+                }
+                "generate" => {
+                    let spec = toks
+                        .next()
+                        .ok_or_else(|| err(ln, "generate: missing family".into()))?;
+                    generators.push(GenSpec::parse_stanza(spec).map_err(|e| err(ln, e))?);
+                }
                 "seed" => {
                     seed = toks
                         .next()
@@ -352,6 +736,7 @@ impl Scenario {
                 }
                 "session" => {
                     let mut first = None;
+                    let mut path: Option<Vec<usize>> = None;
                     let mut rate = None;
                     let mut jc = false;
                     let mut d = None;
@@ -359,6 +744,24 @@ impl Scenario {
                     let mut source = None;
                     for tok in toks {
                         match keyval(tok) {
+                            ("path", Some(v)) => {
+                                let p = v
+                                    .split(',')
+                                    .map(|t| {
+                                        t.parse::<usize>()
+                                            .map_err(|_| err(ln, "path: bad node list".into()))
+                                    })
+                                    .collect::<Result<Vec<_>, _>>()?;
+                                if p.is_empty() {
+                                    return Err(err(ln, "path: empty".into()));
+                                }
+                                for (i, a) in p.iter().enumerate() {
+                                    if p[..i].contains(a) {
+                                        return Err(err(ln, "path: repeated node".into()));
+                                    }
+                                }
+                                path = Some(p);
+                            }
                             ("route", Some(v)) => {
                                 let (a, b) = v
                                     .split_once("..")
@@ -396,7 +799,14 @@ impl Scenario {
                             }
                         }
                     }
-                    let (a, b) = first.ok_or_else(|| err(ln, "session: missing route".into()))?;
+                    let (a, b) = match (&path, first) {
+                        (Some(_), Some(_)) => {
+                            return Err(err(ln, "session: give route or path, not both".into()))
+                        }
+                        (Some(p), None) => (p[0], p[p.len() - 1]),
+                        (None, Some(ab)) => ab,
+                        (None, None) => return Err(err(ln, "session: missing route".into())),
+                    };
                     sessions.push(SessionLine {
                         first: a,
                         last: b,
@@ -405,6 +815,7 @@ impl Scenario {
                         d,
                         shape,
                         source: source.ok_or_else(|| err(ln, "session: missing source".into()))?,
+                        path,
                     });
                 }
                 "run" => {
@@ -417,14 +828,22 @@ impl Scenario {
             }
         }
 
-        let nodes = nodes.ok_or_else(|| err(0, "missing 'nodes' directive".into()))?;
+        // A `generate` stanza implies its own node count; the `nodes`
+        // directive is then optional and only raises the floor.
+        let gen_nodes = generators.iter().map(GenSpec::num_nodes).max().unwrap_or(0);
+        let nodes = match nodes {
+            Some(n) => n.max(gen_nodes),
+            None if gen_nodes > 0 => gen_nodes,
+            None => return Err(err(0, "missing 'nodes' directive".into())),
+        };
         let horizon = horizon.ok_or_else(|| err(0, "missing 'run' directive".into()))?;
         for s in &sessions {
-            if s.last >= nodes {
-                return Err(err(0, format!("route ends at node {} of {nodes}", s.last)));
+            let hi = s.route_nodes().into_iter().max().unwrap_or(0);
+            if hi >= nodes {
+                return Err(err(0, format!("route ends at node {hi} of {nodes}")));
             }
         }
-        if sessions.is_empty() {
+        if sessions.is_empty() && generators.is_empty() {
             return Err(err(0, "no sessions defined".into()));
         }
         Ok(Scenario {
@@ -435,6 +854,8 @@ impl Scenario {
             backend,
             seed,
             sessions,
+            generators,
+            regulator,
             horizon,
         })
     }
@@ -508,11 +929,19 @@ impl Scenario {
         opts: &RunOptions,
         probe: Option<Box<dyn lit_net::Probe>>,
     ) -> (Network, Vec<SessionId>) {
+        if !self.generators.is_empty() {
+            return self.expanded().run_probed(opts, probe);
+        }
+        let regulator = opts
+            .regulator
+            .or_else(lit_net::global_regulator)
+            .unwrap_or(self.regulator);
         let mut b = NetworkBuilder::new()
             .seed(self.seed)
             .queue_kind(self.queue)
             .event_backend(opts.backend.unwrap_or(self.backend))
             .batch_arrivals(opts.batch)
+            .regulator(regulator)
             .shards(opts.shards.unwrap_or_else(lit_net::shard::global_shards));
         // The oracle's invariants are Leave-in-Time's, checked against an
         // exact deadline queue; other disciplines and the bucketed
@@ -574,7 +1003,7 @@ impl Scenario {
                     None => inner,
                 }
             };
-            let route: Vec<_> = (s.first..=s.last).map(|n| nodes[n]).collect();
+            let route: Vec<_> = s.route_nodes().into_iter().map(|n| nodes[n]).collect();
             ids.push(b.add_session(spec, &route, source));
         }
         type Factory = Box<dyn Fn(&LinkParams) -> Box<dyn lit_net::Discipline>>;
@@ -592,7 +1021,11 @@ impl Scenario {
             DisciplineChoice::JitterEdd => Box::new(EddDiscipline::factory(true)),
         };
         let mut net = b.build(&*factory);
-        if oracle != OracleMode::Off {
+        // The per-session delay/jitter bounds are a *dedicated-regulator*
+        // result (ineq. 12/17); under the shared interleaved FIFO they do
+        // not apply session-by-session, so only the regime-independent
+        // invariants stay armed there.
+        if oracle != OracleMode::Off && regulator == RegulatorBackend::PerSession {
             install_oracle_bounds(&mut net);
         }
         net.run_until(Time::ZERO + self.horizon);
@@ -607,8 +1040,13 @@ impl Scenario {
     /// already granted, mirroring [`lit_core::ConnectionManager`]).
     ///
     /// The per-hop delay submitted is the session's `d=` option when
-    /// present, else the `L/r` default the run itself would use.
+    /// present, else the `L/r` default the run itself would use. A
+    /// scenario with `generate` stanzas is expanded first, so the
+    /// verdicts cover (and index) the *expanded* session list.
     pub fn ac3_vet(&self, backend: Ac3Backend) -> Vec<Result<(), String>> {
+        if !self.generators.is_empty() {
+            return self.expanded().ac3_vet(backend);
+        }
         let mut nodes: Vec<Ac3Service> = (0..self.nodes)
             .map(|_| Ac3Service::new(backend, self.link.rate_bps))
             .collect();
@@ -624,7 +1062,7 @@ impl Scenario {
                 let d =
                     s.d.unwrap_or_else(|| Duration::from_bits_at_rate(len as u64, s.rate));
                 let mut granted: Vec<(usize, Ac3ServiceHandle)> = Vec::new();
-                for n in s.first..=s.last {
+                for n in s.route_nodes() {
                     match nodes[n].try_admit(s.rate, len, d) {
                         Ok((h, _)) => granted.push((n, h)),
                         Err(e) => {
@@ -673,6 +1111,36 @@ impl Scenario {
         }
     }
 
+    /// Resolve every `generate` stanza into concrete session lines,
+    /// appended in stanza order after any hand-written sessions. The
+    /// result has no generators and is otherwise identical; expanding a
+    /// generator-free scenario is a clone. Phase offsets continue across
+    /// the combined list, so no two sources tick in phase.
+    pub fn expanded(&self) -> Scenario {
+        let mut sc = self.clone();
+        for g in &self.generators {
+            let base = sc.sessions.len();
+            sc.sessions.extend(g.expand(base, self.link.rate_bps));
+        }
+        sc.generators.clear();
+        sc
+    }
+
+    /// The same scenario with every generator stanza's offered load
+    /// replaced by `rho_bp` basis points (9_500 = ρ 0.95) — the
+    /// load-ladder sweep's rung constructor. Hand-written session lines
+    /// are untouched.
+    pub fn with_rho(&self, rho_bp: u32) -> Scenario {
+        let mut sc = self.clone();
+        for g in &mut sc.generators {
+            let (GenSpec::Tandem { rho_bp: r, .. }
+            | GenSpec::FatTree { rho_bp: r, .. }
+            | GenSpec::Wan { rho_bp: r, .. }) = g;
+            *r = rho_bp;
+        }
+        sc
+    }
+
     /// Serialize back to scenario text. `parse(to_text(sc)) == sc` for
     /// every scenario whose durations are whole nanoseconds (all of the
     /// fuzzer's, and every file under `scenarios/`).
@@ -707,9 +1175,27 @@ impl Scenario {
         } else if self.backend == EventBackend::Wheel {
             let _ = writeln!(out, "backend wheel");
         }
+        if self.regulator == RegulatorBackend::Interleaved {
+            let _ = writeln!(out, "regulator interleaved");
+        }
         let _ = writeln!(out, "seed {}", self.seed);
+        for g in &self.generators {
+            let _ = writeln!(out, "generate {}", g.to_text());
+        }
         for s in &self.sessions {
-            let _ = write!(out, "session route={}..{} rate={}", s.first, s.last, s.rate);
+            match &s.path {
+                Some(p) => {
+                    let list = p
+                        .iter()
+                        .map(|n| n.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    let _ = write!(out, "session path={list} rate={}", s.rate);
+                }
+                None => {
+                    let _ = write!(out, "session route={}..{} rate={}", s.first, s.last, s.rate);
+                }
+            }
             if s.jc {
                 let _ = write!(out, " jc");
             }
@@ -759,13 +1245,14 @@ impl Scenario {
     /// or CBR/ON-OFF at the reserved rate), and is omitted for other
     /// disciplines.
     pub fn run_report(&self) -> Table {
-        let (net, ids) = self.run();
+        let sc = self.expanded();
+        let (net, ids) = sc.run();
         let bounded = matches!(
-            self.discipline,
+            sc.discipline,
             DisciplineChoice::Lit | DisciplineChoice::VirtualClock
         );
         let mut t = Table::new(
-            format!("scenario — {} nodes, horizon {}", self.nodes, self.horizon),
+            format!("scenario — {} nodes, horizon {}", sc.nodes, sc.horizon),
             &[
                 "session",
                 "route",
@@ -793,7 +1280,7 @@ impl Scenario {
             };
             t.push(vec![
                 i.to_string(),
-                format!("{}..{}", self.sessions[i].first, self.sessions[i].last),
+                sc.sessions[i].route_desc(),
                 st.delivered.to_string(),
                 st.max_delay().map(ms).unwrap_or_else(|| "-".into()),
                 st.mean_delay().map(ms).unwrap_or_else(|| "-".into()),
@@ -1051,6 +1538,74 @@ run 10s
         assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
     }
 
+    const GEN_TANDEM_SCN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/gen_tandem_ladder.scn"
+    ));
+    const GEN_FATTREE_SCN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/gen_fattree.scn"
+    ));
+    const GEN_WAN_SCN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/gen_wan.scn"
+    ));
+    const OVERLOAD_SCN: &str = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/overload_rho120.scn"
+    ));
+
+    #[test]
+    fn golden_generator_scenarios_round_trip() {
+        // Every committed generator fixture must survive text → Scenario
+        // → text → Scenario unchanged, keep its stanza unexpanded, and
+        // expand to the documented population.
+        let tandem = Scenario::parse(GEN_TANDEM_SCN).unwrap();
+        assert_eq!(tandem.nodes, 8);
+        assert_eq!(tandem.generators.len(), 1);
+        assert_eq!(tandem.regulator, RegulatorBackend::PerSession);
+        assert_eq!(Scenario::parse(&tandem.to_text()).unwrap(), tandem);
+        assert_eq!(tandem.expanded().sessions.len(), 4 + 8 * 4);
+
+        let fattree = Scenario::parse(GEN_FATTREE_SCN).unwrap();
+        assert_eq!(fattree.nodes, 12); // implied by the stanza
+        assert_eq!(fattree.regulator, RegulatorBackend::Interleaved);
+        assert_eq!(Scenario::parse(&fattree.to_text()).unwrap(), fattree);
+        assert_eq!(fattree.expanded().sessions.len(), 9);
+
+        let wan = Scenario::parse(GEN_WAN_SCN).unwrap();
+        assert_eq!(wan.nodes, 12);
+        assert_eq!(Scenario::parse(&wan.to_text()).unwrap(), wan);
+        assert_eq!(wan.expanded().sessions.len(), 32);
+
+        let overload = Scenario::parse(OVERLOAD_SCN).unwrap();
+        assert_eq!(Scenario::parse(&overload.to_text()).unwrap(), overload);
+        match overload.generators[0] {
+            GenSpec::Tandem { rho_bp, .. } => assert_eq!(rho_bp, 12_000),
+            ref other => panic!("want tandem, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn golden_overload_fixture_trips_the_oracle() {
+        // Acceptance fixture: rho > 1 must demonstrably violate the
+        // bounds. A shortened horizon keeps the test quick; overload
+        // shows up within the first second.
+        let sc = Scenario::parse(OVERLOAD_SCN)
+            .unwrap()
+            .with_horizon(Duration::from_secs(2));
+        let (mut net, _ids) = sc.run_opts(&RunOptions {
+            oracle: OracleMode::Count,
+            ..RunOptions::default()
+        });
+        net.oracle_drain_check();
+        assert!(
+            net.oracle_violations() > 0,
+            "rho=1.2 stayed clean: {:?}",
+            net.oracle_totals()
+        );
+    }
+
     #[test]
     fn golden_misbehaver_scenario() {
         let sc = Scenario::parse(MISBEHAVER_SCN).unwrap();
@@ -1116,6 +1671,208 @@ run 10s
                 verdicts[2]
             );
         }
+    }
+
+    #[test]
+    fn generator_stanzas_round_trip_and_expand() {
+        let text = "nodes 8 rate=1536000 prop=1ms lmax=424\n\
+                    regulator interleaved\n\
+                    generate tandem(n=8,rho=0.95,through=4,cross=4,len=424)\n\
+                    run 5s";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(sc.regulator, RegulatorBackend::Interleaved);
+        assert_eq!(sc.generators.len(), 1);
+        assert!(sc.sessions.is_empty());
+        let serialized = sc.to_text();
+        let back = Scenario::parse(&serialized).unwrap_or_else(|e| panic!("{e}\n{serialized}"));
+        assert_eq!(back, sc, "serialized:\n{serialized}");
+        assert_eq!(back.to_text(), serialized);
+        let ex = sc.expanded();
+        assert!(ex.generators.is_empty());
+        assert_eq!(ex.sessions.len(), 4 + 8 * 4);
+        // Through sessions span the line under jitter control; every
+        // reservation is ρ·C split over the link's through+cross share.
+        assert!(ex.sessions[0].jc);
+        assert_eq!((ex.sessions[0].first, ex.sessions[0].last), (0, 7));
+        assert_eq!(ex.sessions[0].rate, 1_536_000 * 9_500 / (10_000 * 8));
+        // CBR gap rounds up: emitted rate never exceeds the reservation.
+        for s in &ex.sessions {
+            match s.source {
+                SourceSpec::Cbr { gap, len, .. } => {
+                    assert!(gap.as_ps() as u128 * s.rate as u128 >= len as u128 * 1_000_000_000_000)
+                }
+                ref other => panic!("want cbr, got {other:?}"),
+            }
+        }
+        // Phase offsets are pairwise distinct.
+        let mut offsets: Vec<_> = ex
+            .sessions
+            .iter()
+            .map(|s| match s.source {
+                SourceSpec::Cbr { offset, .. } => offset,
+                ref other => panic!("want cbr, got {other:?}"),
+            })
+            .collect();
+        offsets.sort();
+        offsets.dedup();
+        assert_eq!(offsets.len(), ex.sessions.len());
+    }
+
+    #[test]
+    fn fattree_generator_implies_nodes_and_routes_leafward() {
+        // No `nodes` directive: the stanza implies 3 + 9 = 12 uplinks.
+        let text = "generate fattree(depth=2,fanout=3,rho=0.9)\nrun 1s";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(sc.nodes, 12);
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+        let ex = sc.expanded();
+        assert_eq!(ex.sessions.len(), 9); // one flow per leaf
+        for s in &ex.sessions {
+            // Each flow descends from its leaf uplink to a level-1 uplink.
+            let p = s.path.as_ref().unwrap();
+            assert_eq!(p.len(), 2);
+            assert!(p[0] >= 3 && p[1] < 3, "{p:?}");
+            // The level-1 bottleneck carries fanout^(depth-1) = 3 flows.
+            assert_eq!(s.rate, 1_536_000 * 9_000 / (10_000 * 3));
+        }
+    }
+
+    #[test]
+    fn wan_generator_is_deterministic_and_normalized() {
+        let text = "generate wan(nodes=10,flows=16,rho=0.8)\nrun 1s";
+        let a = Scenario::parse(text).unwrap().expanded();
+        let b = Scenario::parse(text).unwrap().expanded();
+        assert_eq!(a.sessions, b.sessions);
+        assert_eq!(a.sessions.len(), 16);
+        let mut load = [0u64; 10];
+        for s in &a.sessions {
+            let p = s.route_nodes();
+            // Strictly increasing node ids — forward, acyclic paths.
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "{p:?}");
+            assert!(*p.iter().max().unwrap() < 10);
+            for n in p {
+                load[n] += s.rate;
+            }
+        }
+        // The most-loaded link's reservations total at most ρ·C.
+        assert!(*load.iter().max().unwrap() <= 1_536_000 * 8_000 / 10_000);
+    }
+
+    #[test]
+    fn path_sessions_parse_run_and_round_trip() {
+        let text = "nodes 4\nsession path=0,2,3 rate=32000 source=cbr(gap=13.25ms,len=424)\nrun 1s";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(sc.sessions[0].route_nodes(), vec![0, 2, 3]);
+        assert_eq!(sc.sessions[0].route_desc(), "0-2-3");
+        let (net, ids) = sc.run();
+        assert!(net.session_stats(ids[0]).delivered > 0);
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+        for (bad, want) in [
+            (
+                "nodes 4\nsession route=0..1 path=0,1 rate=1 source=cbr(gap=1ms,len=1)\nrun 1s",
+                "route or path, not both",
+            ),
+            (
+                "nodes 4\nsession path=0,1,0 rate=1 source=cbr(gap=1ms,len=1)\nrun 1s",
+                "repeated node",
+            ),
+            (
+                "nodes 2\nsession path=0,5 rate=1 source=cbr(gap=1ms,len=1)\nrun 1s",
+                "route ends",
+            ),
+        ] {
+            let e = Scenario::parse(bad).unwrap_err();
+            assert!(e.message.contains(want), "{bad:?}: {}", e.message);
+        }
+    }
+
+    #[test]
+    fn regulator_directive_selects_backend_and_runs_clean() {
+        let text = "nodes 3\nregulator interleaved\n\
+                    session route=0..2 rate=32000 jc source=cbr(gap=13.25ms,len=424)\n\
+                    session route=1..1 rate=64000 source=cbr(gap=6.625ms,len=424)\n\
+                    run 2s";
+        let sc = Scenario::parse(text).unwrap();
+        assert_eq!(sc.regulator, RegulatorBackend::Interleaved);
+        assert_eq!(Scenario::parse(&sc.to_text()).unwrap(), sc);
+        let (mut net, ids) = sc.run_opts(&RunOptions {
+            oracle: OracleMode::Count,
+            ..RunOptions::default()
+        });
+        net.oracle_drain_check();
+        assert!(net.session_stats(ids[0]).delivered > 100);
+        assert_eq!(net.oracle_violations(), 0, "{:?}", net.oracle_totals());
+        assert!(Scenario::parse("nodes 1\nregulator sometimes\nrun 1s").is_err());
+    }
+
+    #[test]
+    fn generator_stanzas_reject_malformed_input() {
+        for (text, want) in [
+            ("generate tandem(rho=0.9)\nrun 1s", "missing 'n'"),
+            ("generate tandem(n=3)\nrun 1s", "missing 'rho'"),
+            ("generate tandem(n=3,rho=7)\nrun 1s", "out of range"),
+            ("generate tandem(n=0,rho=0.9)\nrun 1s", "n out of range"),
+            (
+                "generate tandem(n=3,rho=0.9,depth=2)\nrun 1s",
+                "unknown option",
+            ),
+            (
+                "generate fattree(depth=9,fanout=2,rho=0.9)\nrun 1s",
+                "depth in [1, 6]",
+            ),
+            (
+                "generate wan(nodes=0,flows=4,rho=0.9)\nrun 1s",
+                "out of range",
+            ),
+            (
+                "generate mesh(n=3,rho=0.9)\nrun 1s",
+                "unknown generator family",
+            ),
+            ("generate tandem\nrun 1s", "bad generator syntax"),
+        ] {
+            let e = Scenario::parse(text).unwrap_err();
+            assert!(
+                e.message.contains(want),
+                "for {text:?}: got {:?}, want substring {want:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn with_rho_rewrites_every_stanza() {
+        let sc = Scenario::parse(
+            "generate tandem(n=4,rho=0.5)\ngenerate wan(nodes=6,flows=4,rho=0.5)\nrun 1s",
+        )
+        .unwrap();
+        let hot = sc.with_rho(12_000);
+        for g in &hot.generators {
+            let (GenSpec::Tandem { rho_bp, .. }
+            | GenSpec::FatTree { rho_bp, .. }
+            | GenSpec::Wan { rho_bp, .. }) = g;
+            assert_eq!(*rho_bp, 12_000);
+        }
+        // Overload over-reserves: per-session rates exceed the fair C/m
+        // share, so the bottleneck's reservations total 1.2·C.
+        let ex = hot.expanded();
+        let fair = ex.sessions[0].rate;
+        assert!(fair > sc.expanded().sessions[0].rate);
+    }
+
+    #[test]
+    fn rho_literals_round_trip() {
+        for (s, bp) in [
+            ("0.95", 9_500),
+            ("1", 10_000),
+            ("1.2", 12_000),
+            ("0.5", 5_000),
+        ] {
+            assert_eq!(parse_rho(s).unwrap(), bp);
+            assert_eq!(parse_rho(&fmt_rho(bp)).unwrap(), bp);
+        }
+        assert!(parse_rho("0").is_err());
+        assert!(parse_rho("2.5").is_err());
+        assert!(parse_rho("nan").is_err());
     }
 
     #[test]

@@ -117,6 +117,79 @@ pub fn paper_tandem(b: &mut NetworkBuilder) -> Vec<NodeId> {
     b.tandem(NUM_NODES, LinkParams::paper_t1())
 }
 
+/// Number of uplinks (= server nodes) in a complete `fanout`-ary tree of
+/// `depth` levels below the root — what the `fattree` generator stanza
+/// instantiates.
+pub fn fattree_num_nodes(depth: usize, fanout: usize) -> usize {
+    (1..=depth).map(|l| fanout.pow(l as u32)).sum()
+}
+
+/// One leaf→root uplink path per leaf of a complete `fanout`-ary tree.
+///
+/// Uplinks are labeled breadth-first with level 1 (just below the root)
+/// first, so path `k` runs from leaf `k`'s uplink (vertex `k` at level
+/// `depth`) through its ancestors' uplinks down to a level-1 uplink —
+/// node ids strictly *decrease* along each path. Every level-1 uplink is
+/// shared by `fanout^(depth-1)` paths: the bottleneck.
+pub fn fattree_uplink_paths(depth: usize, fanout: usize) -> Vec<Vec<usize>> {
+    // level_base[l] = id of level l's first uplink (1-based levels).
+    let mut acc = 0usize;
+    let level_base: Vec<usize> = (0..=depth)
+        .map(|l| {
+            let base = acc;
+            if l > 0 {
+                acc += fanout.pow(l as u32);
+            }
+            base
+        })
+        .collect();
+    (0..fanout.pow(depth as u32))
+        .map(|k| {
+            let mut path = Vec::with_capacity(depth);
+            let mut idx = k;
+            for l in (1..=depth).rev() {
+                path.push(level_base[l] + idx);
+                idx /= fanout;
+            }
+            path
+        })
+        .collect()
+}
+
+/// SplitMix64 finalizer — the WAN generator's only "randomness", fully
+/// determined by the flow index so path sets reproduce bit-identically
+/// everywhere.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `flows` deterministic forward paths over a `nodes`-link line — what
+/// the `wan` generator stanza instantiates. Each flow starts at a
+/// pseudorandom node and jumps 1–3 links while room remains, capped at 5
+/// hops; node ids strictly increase, so any flow set is acyclic.
+pub fn wan_paths(flows: usize, nodes: usize) -> Vec<Vec<usize>> {
+    (0..flows)
+        .map(|flow| {
+            let mut h = splitmix(flow as u64);
+            let mut cur = (h % nodes.max(1) as u64) as usize;
+            let mut path = vec![cur];
+            while path.len() < 5 {
+                h = splitmix(h);
+                let step = 1 + (h % 3) as usize;
+                if cur + step >= nodes {
+                    break;
+                }
+                cur += step;
+                path.push(cur);
+            }
+            path
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +248,39 @@ mod tests {
             per_link[*r.node_indices().start()] += 1;
         }
         assert_eq!(per_link, [1; NUM_NODES]);
+    }
+
+    #[test]
+    fn fattree_paths_descend_and_share_level1_bottlenecks() {
+        let (depth, fanout) = (3, 2);
+        let n = fattree_num_nodes(depth, fanout);
+        assert_eq!(n, 2 + 4 + 8);
+        let paths = fattree_uplink_paths(depth, fanout);
+        assert_eq!(paths.len(), 8); // one per leaf
+        let mut level1_load = vec![0usize; fanout];
+        for p in &paths {
+            assert_eq!(p.len(), depth);
+            assert!(p.windows(2).all(|w| w[0] > w[1]), "{p:?}");
+            assert!(*p.iter().max().unwrap() < n);
+            let last = *p.last().unwrap();
+            assert!(last < fanout, "path must end on a level-1 uplink: {p:?}");
+            level1_load[last] += 1;
+        }
+        // Every level-1 uplink carries fanout^(depth-1) flows.
+        assert!(level1_load.iter().all(|&c| c == fanout.pow(2)));
+    }
+
+    #[test]
+    fn wan_paths_are_forward_bounded_and_deterministic() {
+        let paths = wan_paths(32, 12);
+        assert_eq!(paths, wan_paths(32, 12));
+        assert_eq!(paths.len(), 32);
+        for p in &paths {
+            assert!(!p.is_empty() && p.len() <= 5);
+            assert!(p.windows(2).all(|w| w[0] < w[1]), "{p:?}");
+            assert!(*p.iter().max().unwrap() < 12);
+        }
+        // Degenerate single-node network: every flow is one hop at node 0.
+        assert!(wan_paths(4, 1).iter().all(|p| p == &[0]));
     }
 }

@@ -9,11 +9,12 @@
 
 use leave_in_time::core::{install_oracle_bounds, LitDiscipline};
 use leave_in_time::net::{
-    DelayAssignment, LinkParams, NetworkBuilder, NodeId, OracleConfig, OracleMode, SessionId,
-    SessionSpec, StatsConfig,
+    DelayAssignment, LinkParams, NetworkBuilder, NodeId, OracleConfig, OracleMode,
+    RegulatorBackend, SessionId, SessionSpec, StatsConfig,
 };
 use leave_in_time::sim::{Duration, Time};
 use leave_in_time::traffic::{DeterministicSource, PoissonSource};
+use lit_repro::scenario::{RunOptions, Scenario};
 
 /// Serializes the tests that assert on the process-global fallback
 /// counter (`shard_fallbacks`), which every builder in this binary feeds.
@@ -123,6 +124,42 @@ fn fan_in(shards: usize) -> leave_in_time::net::Network {
     b.build(&|l| Box::new(LitDiscipline::new(*l)) as _)
 }
 
+/// The fat tandem again, but under the interleaved (shared per-hop
+/// FIFO) regulator with the counting oracle armed. The per-session
+/// bounds of ineq. 12/17 are dedicated-regulator results, so
+/// `install_oracle_bounds` is deliberately NOT called here; the
+/// regulator-FIFO, shaping-bound and work-conservation checks still run
+/// and must count identically on every engine.
+fn interleaved_tandem(shards: usize) -> leave_in_time::net::Network {
+    let mut b = NetworkBuilder::new()
+        .seed(42)
+        .shards(shards)
+        .stats(stats_cfg())
+        .regulator(RegulatorBackend::Interleaved)
+        .oracle(OracleConfig::new(OracleMode::Count));
+    let nodes = b.tandem(16, LinkParams::paper_t1());
+    for i in 0..6u64 {
+        let spec = SessionSpec::atm(SessionId(0), 32_000).with_jitter_control();
+        b.add_session(
+            spec,
+            &nodes,
+            Box::new(
+                DeterministicSource::new(Duration::from_us(13_250), 424)
+                    .with_offset(Duration::from_ns(1 + i * 37)),
+            ),
+        );
+    }
+    for i in 0..4u64 {
+        let spec = SessionSpec::atm(SessionId(0), 64_000);
+        b.add_session(
+            spec,
+            &nodes[(i as usize % 3)..],
+            Box::new(PoissonSource::new(Duration::from_us(9_000), 424)),
+        );
+    }
+    b.build(&|l| Box::new(LitDiscipline::new(*l)) as _)
+}
+
 #[test]
 fn fat_tandem_identical_across_shard_counts() {
     let horizon = Time::from_ms(1_500);
@@ -157,6 +194,56 @@ fn fat_tandem_oracle_counts_identical_across_shard_counts() {
             want,
             "oracle-mode results diverged at {shards} shards"
         );
+    }
+}
+
+#[test]
+fn interleaved_regulator_identical_across_shard_counts() {
+    let horizon = Time::from_ms(1_000);
+    let mut baseline = interleaved_tandem(1);
+    assert_eq!(baseline.shard_count(), 1, "shards(1) must run scalar");
+    baseline.run_until(horizon);
+    let want = fingerprint(&mut baseline);
+    for shards in 2..=8usize {
+        let mut net = interleaved_tandem(shards);
+        assert!(net.shard_count() > 1, "{shards} shards degraded to scalar");
+        net.run_until(horizon);
+        assert_eq!(
+            fingerprint(&mut net),
+            want,
+            "interleaved-regulator results diverged at {shards} shards"
+        );
+    }
+}
+
+/// Full `.scn` scenarios driven through the `RunOptions` shard
+/// override: oracle counts and every visible statistic must match the
+/// scalar run at every shard count. `misbehaver.scn` is hand-written
+/// with a single node (sharding degrades to scalar there and bumps the
+/// process-global fallback counter — hence the lock); the generated
+/// tandem expands to 36 sessions over 8 nodes and genuinely shards.
+#[test]
+fn scenarios_match_scalar_across_shard_counts() {
+    let _guard = FALLBACK_LOCK.lock().unwrap();
+    for (file, horizon_ms) in [("misbehaver.scn", 2_000u64), ("gen_tandem_ladder.scn", 400)] {
+        let path = format!("{}/scenarios/{file}", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let sc = Scenario::parse(&text)
+            .unwrap_or_else(|e| panic!("{file}: {e}"))
+            .with_horizon(Duration::from_ms(horizon_ms));
+        let run = |shards: usize| {
+            let (mut net, _ids) = sc.run_opts(&RunOptions {
+                oracle: OracleMode::Count,
+                stats: Some(stats_cfg()),
+                shards: Some(shards),
+                ..RunOptions::default()
+            });
+            fingerprint(&mut net)
+        };
+        let want = run(1);
+        for shards in 2..=8usize {
+            assert_eq!(run(shards), want, "{file} diverged at {shards} shards");
+        }
     }
 }
 
