@@ -600,8 +600,11 @@ pub struct Ac3Service {
 enum ServiceInner {
     Exact {
         ac: Ac3Admission,
-        /// Handle id → current session index.
-        index_of: std::collections::HashMap<u64, usize>,
+        /// Handle id → current session index. BTreeMap, not HashMap:
+        /// the engine crates ban hash collections (nondeterministic
+        /// iteration order would leak into any future drain/debug path),
+        /// and handle churn is tiny next to the AC3 recompute itself.
+        index_of: std::collections::BTreeMap<u64, usize>,
         /// Current session index → handle id (admission-order mirror).
         handle_at: Vec<u64>,
         next_id: u64,
@@ -619,7 +622,7 @@ impl Ac3Service {
         let inner = match backend {
             Ac3Backend::Exact => ServiceInner::Exact {
                 ac: Ac3Admission::new(link_bps),
-                index_of: std::collections::HashMap::new(),
+                index_of: std::collections::BTreeMap::new(),
                 handle_at: Vec::new(),
                 next_id: 0,
             },

@@ -1,0 +1,201 @@
+//! Intra-function control-flow regions derived from the [`crate::ast`]
+//! tree.
+//!
+//! A *region* is a token span with a control-flow meaning: the function
+//! body, a loop body, a match arm, a branch of an `if`, a closure body,
+//! or a plain nested block. Regions form a tree (every region has a
+//! parent except the function body), and rules query them instead of
+//! re-walking the expression tree: "is this token inside a loop?",
+//! "which statements of this loop are unconditional (not nested in a
+//! branch region)?", "does an early `return`/`break` guard this span?".
+//!
+//! This is what the barrier-protocol rule runs its state machine over:
+//! unconditional statements of a window loop execute in order every
+//! iteration, while tokens in a nested branch region are conditional
+//! and checked against the barrier count at the *branch point*.
+
+use crate::ast::{Block, Expr, ExprKind, Func, Span};
+
+/// What a region means.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RegionKind {
+    /// The function body itself.
+    FnBody,
+    /// Body of `loop` / `while` / `for`.
+    Loop,
+    /// Then- or else-branch of an `if` (the else side of an `else if`
+    /// chain produces one region per branch).
+    Branch,
+    /// One `match` arm body (guard included in the span).
+    Arm,
+    /// A closure body.
+    Closure,
+    /// A plain block expression (incl. `unsafe { … }`, labeled blocks).
+    Block,
+}
+
+/// One control-flow region.
+#[derive(Clone, Copy, Debug)]
+pub struct Region {
+    /// Classification.
+    pub kind: RegionKind,
+    /// Token span of the region's code (for blocks, braces included).
+    pub span: Span,
+    /// Index of the parent region in the arena; `usize::MAX` for the
+    /// function body.
+    pub parent: usize,
+}
+
+/// All regions of a function, preorder (parents before children).
+/// Empty when the function has no body.
+pub fn regions(f: &Func) -> Vec<Region> {
+    match &f.body {
+        Some(b) => regions_of_block(b),
+        None => Vec::new(),
+    }
+}
+
+/// Build the region arena for a block (the root region is `FnBody`).
+pub fn regions_of_block(b: &Block) -> Vec<Region> {
+    let mut out = vec![Region {
+        kind: RegionKind::FnBody,
+        span: b.span,
+        parent: usize::MAX,
+    }];
+    rec_block(b, 0, &mut out);
+    out
+}
+
+fn rec_block(b: &Block, parent: usize, out: &mut Vec<Region>) {
+    for s in &b.stmts {
+        match &s.kind {
+            crate::ast::StmtKind::Let { init, els, .. } => {
+                if let Some(e) = init {
+                    rec_expr(e, parent, out);
+                }
+                if let Some(els) = els {
+                    let id = push(out, RegionKind::Branch, els.span, parent);
+                    rec_block(els, id, out);
+                }
+            }
+            crate::ast::StmtKind::Expr(e) => rec_expr(e, parent, out),
+            crate::ast::StmtKind::Item(it) => {
+                // Nested fns/closures in items get their own arenas when
+                // the rule walks items; skip here.
+                let _ = it;
+            }
+        }
+    }
+}
+
+fn push(out: &mut Vec<Region>, kind: RegionKind, span: Span, parent: usize) -> usize {
+    out.push(Region { kind, span, parent });
+    out.len() - 1
+}
+
+fn rec_expr(e: &Expr, parent: usize, out: &mut Vec<Region>) {
+    match &e.kind {
+        ExprKind::If { cond, then, els } => {
+            rec_expr(cond, parent, out);
+            let t = push(out, RegionKind::Branch, then.span, parent);
+            rec_block(then, t, out);
+            if let Some(x) = els {
+                match &x.kind {
+                    ExprKind::Block(b) => {
+                        let id = push(out, RegionKind::Branch, b.span, parent);
+                        rec_block(b, id, out);
+                    }
+                    _ => {
+                        let id = push(out, RegionKind::Branch, x.span, parent);
+                        rec_expr(x, id, out);
+                    }
+                }
+            }
+        }
+        ExprKind::Match { scrutinee, arms } => {
+            rec_expr(scrutinee, parent, out);
+            for a in arms {
+                let id = push(out, RegionKind::Arm, a.span, parent);
+                if let Some(g) = &a.guard {
+                    rec_expr(g, id, out);
+                }
+                rec_expr(&a.body, id, out);
+            }
+        }
+        ExprKind::Loop { body, .. } => {
+            let id = push(out, RegionKind::Loop, body.span, parent);
+            rec_block(body, id, out);
+        }
+        ExprKind::While { cond, body, .. } => {
+            let id = push(out, RegionKind::Loop, body.span, parent);
+            rec_expr(cond, id, out);
+            rec_block(body, id, out);
+        }
+        ExprKind::For { iter, body, .. } => {
+            rec_expr(iter, parent, out);
+            let id = push(out, RegionKind::Loop, body.span, parent);
+            rec_block(body, id, out);
+        }
+        ExprKind::Block(b) => {
+            let id = push(out, RegionKind::Block, b.span, parent);
+            rec_block(b, id, out);
+        }
+        ExprKind::Closure { body, .. } => {
+            let id = push(out, RegionKind::Closure, body.span, parent);
+            rec_expr(body, id, out);
+        }
+        ExprKind::Macro { subs, .. } | ExprKind::Leaf { subs } => {
+            for s in subs {
+                rec_expr(s, parent, out);
+            }
+        }
+        ExprKind::Return(x) | ExprKind::Break(x) => {
+            if let Some(x) = x {
+                rec_expr(x, parent, out);
+            }
+        }
+        ExprKind::Continue => {}
+    }
+}
+
+/// Index of the innermost region containing token `i`, if any.
+pub fn innermost(regions: &[Region], i: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (idx, r) in regions.iter().enumerate() {
+        if r.span.contains(i) {
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let bs = regions[b].span;
+                    r.span.hi - r.span.lo <= bs.hi - bs.lo
+                }
+            };
+            if better {
+                best = Some(idx);
+            }
+        }
+    }
+    best
+}
+
+/// Whether token `i` is *conditional* relative to region `root`: some
+/// region strictly between `i`'s innermost region and `root` is a
+/// branch, arm, or closure (its execution is not guaranteed once per
+/// entry into `root`). Loops and plain blocks do not make a token
+/// conditional.
+pub fn conditional_within(regions: &[Region], i: usize, root: usize) -> bool {
+    let Some(mut r) = innermost(regions, i) else {
+        return false;
+    };
+    while r != root && r != usize::MAX {
+        match regions[r].kind {
+            RegionKind::Branch | RegionKind::Arm | RegionKind::Closure => return true,
+            _ => {}
+        }
+        r = regions[r].parent;
+        if r == usize::MAX {
+            break;
+        }
+    }
+    false
+}

@@ -149,6 +149,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Total allow annotations across the scanned files — the burndown
+    /// number `--max-allows` gates on. Stale ones are violations, so
+    /// this can only shrink.
+    pub allows_total: usize,
 }
 
 impl Report {
@@ -177,10 +181,12 @@ impl Report {
         let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(
             s,
-            "  \"counts\": {{ \"total\": {}, \"allowed\": {}, \"violations\": {} }},",
+            "  \"counts\": {{ \"total\": {}, \"allowed\": {}, \"violations\": {}, \
+             \"allow_annotations\": {} }},",
             self.findings.len(),
             self.findings.iter().filter(|f| f.allowed()).count(),
-            self.violation_count()
+            self.violation_count(),
+            self.allows_total
         );
         s.push_str("  \"findings\": [\n");
         for (i, f) in self.findings.iter().enumerate() {
@@ -212,7 +218,8 @@ impl Report {
 }
 
 /// Minimal JSON string escaping (the workspace is dependency-free).
-fn json_str(v: &str) -> String {
+/// Shared with the SARIF serializer.
+pub(crate) fn json_str(v: &str) -> String {
     let mut out = String::with_capacity(v.len() + 2);
     out.push('"');
     for c in v.chars() {

@@ -32,7 +32,9 @@ pub enum TokKind {
     Punct,
 }
 
-/// One token with its source position (1-based line and column).
+/// One token with its source position (1-based line and column) and its
+/// byte span in the original source (`lo..hi`), so a parse tree built
+/// over the token stream can be reassembled byte-for-byte.
 #[derive(Clone, Debug)]
 pub struct Tok {
     /// Lexeme class.
@@ -43,6 +45,10 @@ pub struct Tok {
     pub line: u32,
     /// 1-based source column (in characters).
     pub col: u32,
+    /// Byte offset of the first byte of the token in the source.
+    pub lo: usize,
+    /// Byte offset one past the last byte of the token.
+    pub hi: usize,
 }
 
 impl Tok {
@@ -85,6 +91,7 @@ struct Cursor {
     i: usize,
     line: u32,
     col: u32,
+    byte: usize,
 }
 
 impl Cursor {
@@ -99,6 +106,7 @@ impl Cursor {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.i).copied()?;
         self.i += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -126,11 +134,13 @@ pub fn lex(src: &str) -> LexOut {
         i: 0,
         line: 1,
         col: 1,
+        byte: 0,
     };
     let mut out = LexOut::default();
 
     while let Some(c) = cur.peek() {
         let (line, col) = (cur.line, cur.col);
+        let lo = cur.byte;
         if c.is_whitespace() {
             cur.bump();
             continue;
@@ -174,7 +184,8 @@ pub fn lex(src: &str) -> LexOut {
         }
         // Raw / byte strings: r"…", r#"…"#, br"…", b"…".
         if (c == 'r' || c == 'b') && looks_like_string_prefix(&cur) {
-            let tok = lex_prefixed_string(&mut cur, line, col);
+            let mut tok = lex_prefixed_string(&mut cur, line, col);
+            (tok.lo, tok.hi) = (lo, cur.byte);
             out.toks.push(tok);
             continue;
         }
@@ -182,6 +193,7 @@ pub fn lex(src: &str) -> LexOut {
             cur.bump(); // consume the b; the quote path below takes over.
             let mut tok = lex_quote(&mut cur, line, col);
             tok.text.insert(0, 'b');
+            (tok.lo, tok.hi) = (lo, cur.byte);
             out.toks.push(tok);
             continue;
         }
@@ -199,21 +211,26 @@ pub fn lex(src: &str) -> LexOut {
                 text,
                 line,
                 col,
+                lo,
+                hi: cur.byte,
             });
             continue;
         }
         if c.is_ascii_digit() {
-            let tok = lex_number(&mut cur, line, col);
+            let mut tok = lex_number(&mut cur, line, col);
+            (tok.lo, tok.hi) = (lo, cur.byte);
             out.toks.push(tok);
             continue;
         }
         if c == '"' {
-            let tok = lex_dquote(&mut cur, line, col);
+            let mut tok = lex_dquote(&mut cur, line, col);
+            (tok.lo, tok.hi) = (lo, cur.byte);
             out.toks.push(tok);
             continue;
         }
         if c == '\'' {
-            let tok = lex_quote(&mut cur, line, col);
+            let mut tok = lex_quote(&mut cur, line, col);
+            (tok.lo, tok.hi) = (lo, cur.byte);
             out.toks.push(tok);
             continue;
         }
@@ -224,6 +241,8 @@ pub fn lex(src: &str) -> LexOut {
             text: c.to_string(),
             line,
             col,
+            lo,
+            hi: cur.byte,
         });
     }
     out
@@ -297,6 +316,8 @@ fn lex_prefixed_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
             text,
             line,
             col,
+            lo: 0,
+            hi: 0,
         };
     }
     // Non-raw byte string: b"…" with escapes.
@@ -307,6 +328,8 @@ fn lex_prefixed_string(cur: &mut Cursor, line: u32, col: u32) -> Tok {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     }
 }
 
@@ -334,6 +357,8 @@ fn lex_dquote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     }
 }
 
@@ -358,6 +383,8 @@ fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
                 text,
                 line,
                 col,
+                lo: 0,
+                hi: 0,
             }
         }
         Some(c) if cur.peek_at(1) == Some('\'') => {
@@ -371,6 +398,8 @@ fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
                 text,
                 line,
                 col,
+                lo: 0,
+                hi: 0,
             }
         }
         _ => {
@@ -387,6 +416,8 @@ fn lex_quote(cur: &mut Cursor, line: u32, col: u32) -> Tok {
                 text,
                 line,
                 col,
+                lo: 0,
+                hi: 0,
             }
         }
     }
@@ -416,6 +447,8 @@ fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
             text,
             line,
             col,
+            lo: 0,
+            hi: 0,
         };
     }
     while let Some(c) = cur.peek() {
@@ -480,6 +513,8 @@ fn lex_number(cur: &mut Cursor, line: u32, col: u32) -> Tok {
         text,
         line,
         col,
+        lo: 0,
+        hi: 0,
     }
 }
 
@@ -544,6 +579,23 @@ mod tests {
         let out = lex("a /* outer /* inner */ still comment */ b");
         let texts: Vec<&str> = out.toks.iter().map(|t| t.text.as_str()).collect();
         assert_eq!(texts, ["a", "b"]);
+    }
+
+    #[test]
+    fn byte_spans_cover_exact_source_text() {
+        let src = "let s = \"π → ∞\"; // comment\nfor i in 0..n { x[i] += 1.5e3; }\nlet r = r#\"raw\"#; let b = b'z';";
+        let out = lex(src);
+        let mut prev = 0usize;
+        let mut rebuilt = String::new();
+        for t in &out.toks {
+            assert!(t.lo >= prev && t.hi >= t.lo, "spans out of order");
+            assert_eq!(&src[t.lo..t.hi], t.text, "span disagrees with token text");
+            rebuilt.push_str(&src[prev..t.lo]);
+            rebuilt.push_str(&src[t.lo..t.hi]);
+            prev = t.hi;
+        }
+        rebuilt.push_str(&src[prev..]);
+        assert_eq!(rebuilt, src);
     }
 
     #[test]

@@ -1,34 +1,53 @@
 //! # lit-lint — workspace static analysis for clock and hot-path discipline
 //!
-//! A dependency-free, token-level static-analysis pass over the whole
-//! workspace, run as `cargo run -p lit-lint -- check`. Four rules:
+//! A dependency-free, *syntax-aware* static-analysis pass over the whole
+//! workspace, run as `cargo run -p lit-lint -- check`. Seven rules:
 //!
 //! * [`rules::RAW_TIME_ARITHMETIC`] — no raw `u64`/`f64` arithmetic,
 //!   narrowing casts, or float literals flowing into `Time`/`Duration`;
 //! * [`rules::NO_PANIC_HOT_PATH`] — `unwrap`/`expect`/`panic!`/panicking
-//!   indexing banned in the scheduler hot paths;
+//!   indexing banned in the scheduler hot paths; indexes the tree can
+//!   prove in bounds (const array lengths, for-range loop variables) are
+//!   exempt, as are assert-macro argument lists;
 //! * [`rules::FORBID_UNSAFE`] — every crate root carries
 //!   `#![forbid(unsafe_code)]`;
 //! * [`rules::CHECKED_CLOCK_OPS`] — `wrapping_*`/`overflowing_*`/
-//!   `saturating_*` on clock-carrying values must be justified.
+//!   `saturating_*` in a statement touching clock-carrying values must
+//!   be justified;
+//! * [`rules::NONDETERMINISTIC_ITERATION`] — no `HashMap`/`HashSet`
+//!   iteration or draining in the engine crates (net/core/sim), where
+//!   iteration order would leak into the deterministic event path;
+//! * [`rules::BARRIER_PROTOCOL`] — a per-loop state machine over the
+//!   sharded executor's window protocol (publish → barrier A → send →
+//!   barrier B → drain), pinning the PR-7 abort-race class;
+//! * [`rules::STALE_ALLOW`] — an allow annotation that suppresses
+//!   nothing is itself a violation, so the allow list can only shrink.
 //!
 //! Escape hatch: `// lit-lint: allow(<rule>, "<justification>")` on (or
 //! directly above) the offending line. Justifications are mandatory and
-//! non-empty; unused or malformed annotations are themselves violations,
-//! so the allow list can only shrink. Diagnostics are also emitted as
-//! machine-readable JSON (`--json`), schema `lit-lint-v1`.
+//! non-empty; stale or malformed annotations are themselves violations.
+//! Diagnostics are emitted as machine-readable JSON (`--json`, schema
+//! `lit-lint-v1`) and SARIF v2.1.0 (`--sarif`), and `--changed-since`
+//! restricts a scan to files touched since a git revision.
 //!
-//! The pass is a hand-rolled lexer plus token-pattern rules — the build
-//! container is fully offline, so `syn` is not available. That limits the
-//! rules to what token adjacency can express, which is exactly what they
-//! need (see each rule's module docs for the precise patterns).
+//! The engine is a hand-rolled lexer ([`lexer`]), a recursive-descent
+//! parser producing a lightweight item/statement/expression tree with
+//! spans ([`parser`], [`ast`]), and intra-function control-flow regions
+//! ([`cfg`]) — the build container is fully offline, so `syn` is not
+//! available. The parser never rejects: anything it cannot shape
+//! degrades to leaf spans, and a round-trip property test pins
+//! lex → parse → span-reassembly ≡ source over every workspace file.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod ast;
+pub mod cfg;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod source;
 
 use diag::{Finding, Report};
@@ -47,6 +66,11 @@ pub struct Config {
     pub time_exempt: Vec<String>,
     /// Path prefixes never scanned at all (fixtures of known-bad code).
     pub skip: Vec<String>,
+    /// Engine-crate source prefixes where iteration order must be
+    /// deterministic (`nondeterministic-iteration`).
+    pub engine_paths: Vec<String>,
+    /// Files subject to the barrier-protocol window state machine.
+    pub barrier_files: Vec<String>,
     /// When non-empty, only these rules run.
     pub only_rules: BTreeSet<String>,
 }
@@ -74,6 +98,10 @@ impl Default for Config {
                 .map(String::from)
                 .to_vec(),
             skip: ["crates/lint/tests/fixtures/"].map(String::from).to_vec(),
+            engine_paths: ["crates/net/src/", "crates/core/src/", "crates/sim/src/"]
+                .map(String::from)
+                .to_vec(),
+            barrier_files: ["crates/net/src/shard.rs"].map(String::from).to_vec(),
             only_rules: BTreeSet::new(),
         }
     }
@@ -88,6 +116,16 @@ impl Config {
     /// Is `rel` exempt from the clock rules?
     pub fn is_time_exempt(&self, rel: &str) -> bool {
         self.time_exempt.iter().any(|p| rel.starts_with(p))
+    }
+
+    /// Is `rel` engine-crate source (deterministic iteration required)?
+    pub fn is_engine_path(&self, rel: &str) -> bool {
+        self.engine_paths.iter().any(|p| rel.starts_with(p))
+    }
+
+    /// Is `rel` subject to the barrier-protocol state machine?
+    pub fn is_barrier_file(&self, rel: &str) -> bool {
+        self.barrier_files.iter().any(|p| p == rel)
     }
 
     /// Production source: anything under a `src/` directory (unit-test
@@ -175,6 +213,12 @@ pub fn rel_str(p: &Path) -> String {
 /// Run every enabled rule over one in-memory file and resolve allow
 /// annotations. Exposed for the fixture self-tests.
 pub fn check_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    check_source_counted(rel, src, cfg).0
+}
+
+/// Like [`check_source`], also returning the number of allow annotations
+/// the file carries (fed into [`diag::Report::allows_total`]).
+pub fn check_source_counted(rel: &str, src: &str, cfg: &Config) -> (Vec<Finding>, usize) {
     let file = SourceFile::new(rel, src);
     let mut findings: Vec<Finding> = Vec::new();
     findings.extend(file.allow_errors.iter().cloned());
@@ -183,16 +227,21 @@ pub fn check_source(rel: &str, src: &str, cfg: &Config) -> Vec<Finding> {
             findings.extend((rule.check)(&file, cfg));
         }
     }
-    resolve_allows(&file, &mut findings);
+    resolve_allows(&file, &mut findings, cfg);
     findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    findings
+    (findings, file.allows.len())
 }
 
 /// Match findings against the file's allow annotations: a finding on an
 /// annotation's target line with the annotation's rule is suppressed (its
 /// justification recorded); an annotation that suppresses nothing becomes
-/// an `unused-allow` violation.
-fn resolve_allows(file: &SourceFile, findings: &mut Vec<Finding>) {
+/// a `stale-allow` violation — the burndown signal of the precise engine.
+///
+/// Annotations for rules that are disabled under `--rule` filtering are
+/// left alone (they may well suppress a finding when the full set runs),
+/// and `stale-allow` findings are only emitted when that rule is itself
+/// enabled.
+fn resolve_allows(file: &SourceFile, findings: &mut Vec<Finding>, cfg: &Config) {
     let mut used = vec![false; file.allows.len()];
     for f in findings.iter_mut() {
         for (k, a) in file.allows.iter().enumerate() {
@@ -203,10 +252,13 @@ fn resolve_allows(file: &SourceFile, findings: &mut Vec<Finding>) {
             }
         }
     }
+    if !cfg.rule_enabled(rules::STALE_ALLOW) {
+        return;
+    }
     for (k, a) in file.allows.iter().enumerate() {
-        if !used[k] {
+        if !used[k] && cfg.rule_enabled(&a.rule) {
             findings.push(Finding {
-                rule: "unused-allow",
+                rule: rules::STALE_ALLOW,
                 file: file.rel.clone(),
                 line: a.line,
                 col: 1,
@@ -224,19 +276,87 @@ fn resolve_allows(file: &SourceFile, findings: &mut Vec<Finding>) {
 
 /// Run the whole pass over the workspace rooted at `root`.
 pub fn run_check(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    run_check_filtered(root, cfg, None)
+}
+
+/// [`run_check`] restricted to the files in `only` (workspace-relative,
+/// `/`-separated) when given — the engine of `--changed-since`
+/// diff-aware scans. Files outside the workspace file set are ignored
+/// either way, so feeding raw `git diff` output is safe.
+pub fn run_check_filtered(
+    root: &Path,
+    cfg: &Config,
+    only: Option<&BTreeSet<String>>,
+) -> std::io::Result<Report> {
     let mut report = Report::default();
-    let files = workspace_files(root, cfg)?;
+    let files: Vec<PathBuf> = workspace_files(root, cfg)?
+        .into_iter()
+        .filter(|p| only.is_none_or(|set| set.contains(&rel_str(p))))
+        .collect();
     report.files_scanned = files.len();
     for rel in files {
         let src = std::fs::read_to_string(root.join(&rel))?;
-        report
-            .findings
-            .extend(check_source(&rel_str(&rel), &src, cfg));
+        let (findings, n_allows) = check_source_counted(&rel_str(&rel), &src, cfg);
+        report.findings.extend(findings);
+        report.allows_total += n_allows;
     }
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
     Ok(report)
+}
+
+/// Every allow annotation in the workspace, with the file carrying it —
+/// the `lit-lint allows` burndown inventory.
+pub fn collect_allows(root: &Path, cfg: &Config) -> std::io::Result<Vec<(String, diag::Allow)>> {
+    let mut out = Vec::new();
+    for rel in workspace_files(root, cfg)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let file = SourceFile::new(&rel_str(&rel), &src);
+        for a in file.allows {
+            out.push((file.rel.clone(), a));
+        }
+    }
+    Ok(out)
+}
+
+/// Files changed since `rev`, as workspace-relative paths: committed
+/// changes against the merge base (`git diff --name-only rev...HEAD`)
+/// plus uncommitted and untracked files. Paths that no longer exist
+/// (deletions) are filtered out by the scan itself.
+pub fn changed_files(root: &Path, rev: &str) -> std::io::Result<BTreeSet<String>> {
+    let run = |args: &[&str]| -> std::io::Result<String> {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()?;
+        if !out.status.success() {
+            return Err(std::io::Error::other(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            )));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let mut set = BTreeSet::new();
+    let range = format!("{rev}...HEAD");
+    for l in run(&["diff", "--name-only", &range])?.lines() {
+        if !l.is_empty() {
+            set.insert(l.to_string());
+        }
+    }
+    // Working tree on top: uncommitted modifications and untracked files.
+    for l in run(&["status", "--porcelain"])?.lines() {
+        // Format: `XY path` or `XY old -> new` for renames.
+        let path = l.get(3..).unwrap_or("");
+        let path = path.rsplit(" -> ").next().unwrap_or(path).trim();
+        if !path.is_empty() {
+            set.insert(path.to_string());
+        }
+    }
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -274,7 +394,7 @@ mod tests {
         assert_eq!(raw.len(), 1);
         assert!(raw[0].allowed());
         assert_eq!(raw[0].justification.as_deref(), Some("documented widening"));
-        assert_eq!(fs.iter().filter(|f| f.rule == "unused-allow").count(), 1);
+        assert_eq!(fs.iter().filter(|f| f.rule == "stale-allow").count(), 1);
     }
 
     #[test]

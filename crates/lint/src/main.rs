@@ -1,22 +1,35 @@
 //! `lit-lint` CLI.
 //!
 //! ```text
-//! lit-lint check [--root DIR] [--json FILE] [--rule NAME]...
+//! lit-lint check [--root DIR] [--json FILE] [--sarif FILE] [--rule NAME]...
+//!                [--changed-since REV] [--max-allows N] [--budget-ms MS]
+//! lit-lint allows [--root DIR]
 //! lit-lint rules
 //! ```
 //!
 //! `check` exits 0 when the workspace is clean (suppressed findings are
-//! reported but do not fail), 1 when any violation remains, 2 on usage or
-//! I/O errors. `--json` additionally writes the `lit-lint-v1` report.
+//! reported but do not fail), 1 when any violation remains — or when the
+//! allow inventory exceeds `--max-allows`, or the scan overruns
+//! `--budget-ms` — and 2 on usage or I/O errors. `--json` writes the
+//! `lit-lint-v1` report, `--sarif` a SARIF v2.1.0 log, and
+//! `--changed-since REV` restricts the scan to files touched since the
+//! given git revision (committed, uncommitted, and untracked).
+//!
+//! `allows` prints the burndown inventory: every allow annotation in the
+//! workspace, grouped rule × crate.
 
 #![forbid(unsafe_code)]
 
-use lit_lint::{rules, run_check, Config};
+use lit_lint::{changed_files, collect_allows, rules, run_check_filtered, sarif, Config};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: lit-lint <check [--root DIR] [--json FILE] [--rule NAME]... | rules>");
+    eprintln!(
+        "usage: lit-lint <check [--root DIR] [--json FILE] [--sarif FILE] [--rule NAME]... \
+         [--changed-since REV] [--max-allows N] [--budget-ms MS] | allows [--root DIR] | rules>"
+    );
     std::process::exit(2);
 }
 
@@ -30,14 +43,68 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("allows") => {
+            let mut root = PathBuf::from(".");
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
+                    _ => usage(),
+                }
+            }
+            let allows = match collect_allows(&root, &Config::default()) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("lit-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // rule × crate burndown table.
+            let mut by: BTreeMap<(String, String), usize> = BTreeMap::new();
+            for (file, a) in &allows {
+                let crate_name = file
+                    .strip_prefix("crates/")
+                    .and_then(|r| r.split('/').next())
+                    .unwrap_or("(root)")
+                    .to_string();
+                *by.entry((a.rule.clone(), crate_name)).or_insert(0) += 1;
+            }
+            println!("{:<26} {:<10} {:>6}", "rule", "crate", "count");
+            for ((rule, krate), n) in &by {
+                println!("{rule:<26} {krate:<10} {n:>6}");
+            }
+            println!("total: {} allow annotation(s)", allows.len());
+            ExitCode::SUCCESS
+        }
         Some("check") => {
             let mut cfg = Config::default();
             let mut root = PathBuf::from(".");
             let mut json: Option<PathBuf> = None;
+            let mut sarif_out: Option<PathBuf> = None;
+            let mut since: Option<String> = None;
+            let mut max_allows: Option<usize> = None;
+            let mut budget_ms: Option<u128> = None;
             while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--root" => root = PathBuf::from(args.next().unwrap_or_else(|| usage())),
                     "--json" => json = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+                    "--sarif" => {
+                        sarif_out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())))
+                    }
+                    "--changed-since" => since = Some(args.next().unwrap_or_else(|| usage())),
+                    "--max-allows" => {
+                        max_allows = Some(
+                            args.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
+                    "--budget-ms" => {
+                        budget_ms = Some(
+                            args.next()
+                                .and_then(|v| v.parse().ok())
+                                .unwrap_or_else(|| usage()),
+                        )
+                    }
                     "--rule" => {
                         cfg.only_rules
                             .insert(args.next().unwrap_or_else(|| usage()));
@@ -49,18 +116,33 @@ fn main() -> ExitCode {
                 eprintln!("lit-lint: {} is not a workspace root", root.display());
                 return ExitCode::from(2);
             }
-            let report = match run_check(&root, &cfg) {
+            let only = match &since {
+                Some(rev) => match changed_files(&root, rev) {
+                    Ok(set) => Some(set),
+                    Err(e) => {
+                        eprintln!("lit-lint: --changed-since {rev}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => None,
+            };
+            let start = std::time::Instant::now();
+            let report = match run_check_filtered(&root, &cfg, only.as_ref()) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("lit-lint: {e}");
                     return ExitCode::from(2);
                 }
             };
+            let elapsed_ms = start.elapsed().as_millis();
             if let Some(path) = &json {
-                if let Some(dir) = path.parent() {
-                    let _ = std::fs::create_dir_all(dir);
+                if let Err(e) = write_output(path, &report.to_json()) {
+                    eprintln!("lit-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
                 }
-                if let Err(e) = std::fs::write(path, report.to_json()) {
+            }
+            if let Some(path) = &sarif_out {
+                if let Err(e) = write_output(path, &sarif::to_sarif(&report)) {
                     eprintln!("lit-lint: cannot write {}: {e}", path.display());
                     return ExitCode::from(2);
                 }
@@ -74,16 +156,46 @@ fn main() -> ExitCode {
             let allowed = report.findings.iter().filter(|f| f.allowed()).count();
             let violations = report.violation_count();
             eprintln!(
-                "lit-lint: {} file(s), {} finding(s): {} violation(s), {} allowed",
+                "lit-lint: {} file(s), {} finding(s): {} violation(s), {} allowed, \
+                 {} allow annotation(s), {} ms{}",
                 report.files_scanned,
                 report.findings.len(),
                 violations,
-                allowed
+                allowed,
+                report.allows_total,
+                elapsed_ms,
+                if since.is_some() {
+                    " (diff-aware scan)"
+                } else {
+                    ""
+                }
             );
+            let mut failed = violations > 0;
             if violations > 0 {
                 for (rule, n) in report.counts_by_rule() {
                     eprintln!("  {rule}: {n}");
                 }
+            }
+            if let Some(max) = max_allows {
+                if report.allows_total > max {
+                    eprintln!(
+                        "lit-lint: allow inventory {} exceeds --max-allows {max}; the allow \
+                         list can only shrink — remove allows, don't add them",
+                        report.allows_total
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(budget) = budget_ms {
+                if elapsed_ms > budget {
+                    eprintln!(
+                        "lit-lint: scan took {elapsed_ms} ms, over the --budget-ms {budget} \
+                         runtime budget"
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -91,4 +203,11 @@ fn main() -> ExitCode {
         }
         _ => usage(),
     }
+}
+
+fn write_output(path: &std::path::Path, content: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, content)
 }

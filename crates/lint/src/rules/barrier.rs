@@ -1,0 +1,186 @@
+//! `barrier-protocol` — the sharded executor's window state machine,
+//! checked statically over `crates/net/src/shard.rs`.
+//!
+//! DESIGN.md §12's window protocol is a three-phase cycle per loop
+//! iteration:
+//!
+//! ```text
+//! phase 0  publish next_event_ps          (next_ts[..].store)
+//! ──────── barrier A ────────────────────
+//! phase 1  snapshot tmin, process window  (sends: try_send /
+//!          send_handoff / spill_push)
+//! ──────── barrier B ────────────────────
+//! phase 2  abort check, drain mailboxes   (abort.load, drain_inboxes,
+//!          try_recv)
+//! ```
+//!
+//! The PR-7 deadlock was exactly a phase violation: the worker loop read
+//! `abort` in its break condition *between* barrier A and barrier B, so
+//! one worker could leave while a peer was still blocked on B. The
+//! committed fixture `tests/fixtures/barrier_protocol.rs` reconstructs
+//! that pre-fix loop; this rule must flag it forever.
+//!
+//! Mechanics, per *window loop* (any `loop`/`while` in a
+//! [`Config::barrier_files`] file whose body contains an unconditional
+//! statement-level `barrier.wait()`):
+//!
+//! * exactly two unconditional `barrier.wait()` calls per iteration —
+//!   a conditional wait is itself a violation (it desynchronizes the
+//!   barrier count across workers);
+//! * `…barrier.wait()` calls nested under a branch/arm/closure region
+//!   ([`crate::cfg`]) are the conditional ones;
+//! * every protocol event in the body is checked against the number of
+//!   waits textually before it (with unconditional waits in a
+//!   straight-line loop body, textual order *is* domination):
+//!   `next_ts….store` → phase 0, sends → phase 1, `abort.load` /
+//!   `drain_inboxes` / `try_recv` → phase 2.
+//!
+//! Functions without a barrier loop (e.g. `send_handoff`,
+//! `drain_inboxes` themselves) are never entered: their sends/receives
+//! are checked at the call sites inside window loops.
+
+use crate::ast::{self, ExprKind};
+use crate::cfg::{conditional_within, regions_of_block};
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Rule name.
+pub const BARRIER_PROTOCOL: &str = "barrier-protocol";
+
+/// Protocol events and their required phase (waits seen this iteration).
+const EVENTS: [(&str, usize, &str); 6] = [
+    ("abort", 2, "abort flag must be read only after barrier B (phase 2); reading it between the barriers races a peer still blocked on B — the PR-7 deadlock"),
+    ("drain_inboxes", 2, "mailbox drain must happen after barrier B (phase 2), once every send of the window is published"),
+    ("try_recv", 2, "mailbox receive must happen after barrier B (phase 2), once every send of the window is published"),
+    ("try_send", 1, "mailbox send must happen between barrier A and barrier B (phase 1), inside the processed window"),
+    ("send_handoff", 1, "mailbox send must happen between barrier A and barrier B (phase 1), inside the processed window"),
+    ("spill_push", 1, "spill-lane push must happen between barrier A and barrier B (phase 1), inside the processed window"),
+];
+
+/// Token index of each `barrier.wait()` whose `barrier` ident is at `i`.
+fn is_barrier_wait(file: &SourceFile, i: usize) -> bool {
+    let toks = &file.toks;
+    toks[i].is_ident("barrier")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("wait"))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+}
+
+/// The pass.
+pub fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !cfg.is_barrier_file(&file.rel) {
+        return out;
+    }
+    let mut loops: Vec<&ast::Block> = Vec::new();
+    ast::walk_tree(&file.tree, &mut |e| match &e.kind {
+        ExprKind::Loop { body, .. } | ExprKind::While { body, .. } => loops.push(body),
+        _ => {}
+    });
+    // Inner loops are walked separately; skip events already judged in
+    // an inner window loop by tracking claimed token ranges.
+    let mut claimed: Vec<(usize, usize)> = Vec::new();
+    // Judge innermost loops first so an outer loop never re-claims them.
+    loops.sort_by_key(|b| b.span.hi - b.span.lo);
+    for body in loops {
+        if claimed
+            .iter()
+            .any(|&(lo, hi)| lo <= body.span.lo && body.span.hi <= hi)
+        {
+            continue;
+        }
+        let toks = &file.toks;
+        let in_claimed = |i: usize| claimed.iter().any(|&(lo, hi)| lo <= i && i < hi);
+        let wait_positions: Vec<usize> = (body.span.lo..body.span.hi)
+            .filter(|&i| is_barrier_wait(file, i) && !in_claimed(i))
+            .collect();
+        if wait_positions.is_empty() {
+            continue; // not a window loop
+        }
+        let regions = regions_of_block(body);
+        let unconditional: Vec<usize> = wait_positions
+            .iter()
+            .copied()
+            .filter(|&i| !conditional_within(&regions, i, 0))
+            .collect();
+        for &w in &wait_positions {
+            if !unconditional.contains(&w) {
+                out.push(
+                    file.finding(
+                        BARRIER_PROTOCOL,
+                        w,
+                        "conditional barrier.wait(): every worker must hit the same barriers \
+                     every iteration, or the barrier counts desynchronize"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+        if unconditional.len() != 2 {
+            out.push(file.finding(
+                BARRIER_PROTOCOL,
+                unconditional.first().copied().unwrap_or(body.span.lo),
+                format!(
+                    "window loop has {} unconditional barrier.wait() calls; the window \
+                     protocol is exactly two per iteration (publish → A → process → B → drain)",
+                    unconditional.len()
+                ),
+            ));
+        }
+        // Phase-check every event token in the loop body.
+        for i in body.span.lo..body.span.hi.min(toks.len()) {
+            if in_claimed(i) {
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let phase = unconditional.iter().filter(|&&w| w < i).count();
+            // next_ts publication: a `.store(` whose receiver chain
+            // mentions next_ts.
+            if t.is_ident("store")
+                && i >= 1
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('('))
+            {
+                let start = crate::rules::before_receiver(file, i - 1).map_or(0, |b| b + 1);
+                let on_next_ts = toks[start..i - 1].iter().any(|t| t.is_ident("next_ts"));
+                if on_next_ts && phase != 0 {
+                    out.push(
+                        file.finding(
+                            BARRIER_PROTOCOL,
+                            i,
+                            "next_ts must be published before barrier A (phase 0) so every \
+                         worker snapshots the same window minimum"
+                                .to_string(),
+                        ),
+                    );
+                }
+                continue;
+            }
+            for (name, want, why) in EVENTS {
+                if t.is_ident(name) && phase != want {
+                    // `abort` only counts as an event when it is read:
+                    // `abort.load(`; `abort.store` in the panic path is
+                    // phase-1 by design.
+                    if name == "abort"
+                        && !(toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+                            && toks.get(i + 2).is_some_and(|n| n.is_ident("load")))
+                    {
+                        continue;
+                    }
+                    out.push(file.finding(
+                        BARRIER_PROTOCOL,
+                        i,
+                        format!("{why} (saw it in phase {phase})"),
+                    ));
+                }
+            }
+        }
+        claimed.push((body.span.lo, body.span.hi));
+    }
+    out
+}

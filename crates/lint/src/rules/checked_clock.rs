@@ -9,13 +9,18 @@
 //! (the PR-2 oracle can only notice *afterwards*). Each use must carry an
 //! allow annotation saying why clamping/wrapping is correct there.
 //!
-//! Detection is per *segment* (tokens between `;`, `,`, `{`, `}`): a
+//! Scoping is the innermost *statement* from the syntax tree: a
 //! `.wrapping_*() / .overflowing_*() / .saturating_*()` call is flagged
-//! when its segment also mentions a clock marker — `Time`, `Duration`,
-//! `as_ps`, `from_ps`, or any identifier ending in `_ps`. The
-//! `Time`-specific `saturating_since` is always flagged. RNG mixers,
-//! usize bookkeeping, and other non-clock saturating math stay silent.
+//! when the statement containing it also mentions a clock marker —
+//! `Time`, `Duration`, `as_ps`, `from_ps`, or any identifier ending in
+//! `_ps`. (The v1 engine split at `;,{}`, so a marker and a call
+//! separated by an argument comma — `f(t.as_ps(), x.saturating_add(1))`
+//! — never met; statements are the association boundary the contract
+//! actually means.) The `Time`-specific `saturating_since` is always
+//! flagged. RNG mixers, usize bookkeeping, and other non-clock
+//! saturating math stay silent.
 
+use crate::ast::{self, Span};
 use crate::diag::Finding;
 use crate::lexer::TokKind;
 use crate::source::SourceFile;
@@ -36,39 +41,35 @@ fn is_clock_marker(name: &str) -> bool {
     }
 }
 
+/// Innermost statement span containing token `i`, if any. Statement
+/// spans nest (an `if` statement contains the statements of its body),
+/// so smallest-containing is innermost.
+fn innermost_stmt(stmts: &[Span], i: usize) -> Option<Span> {
+    stmts
+        .iter()
+        .copied()
+        .filter(|s| s.contains(i))
+        .min_by_key(|s| s.hi - s.lo)
+}
+
 pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     let mut out = Vec::new();
     if cfg.is_time_exempt(&file.rel) || !cfg.is_production_src(&file.rel) {
         return out;
     }
     let toks = &file.toks;
-    // Segment boundaries: statement-ish separators.
-    let mut seg_start = 0usize;
-    let mut i = 0usize;
-    while i <= toks.len() {
-        let at_boundary = i == toks.len()
-            || toks[i].is_punct(';')
-            || toks[i].is_punct(',')
-            || toks[i].is_punct('{')
-            || toks[i].is_punct('}');
-        if at_boundary {
-            scan_segment(file, seg_start, i, &mut out);
-            seg_start = i + 1;
-        }
-        i += 1;
-    }
-    out
-}
+    let mut stmts: Vec<Span> = Vec::new();
+    ast::walk_stmts(&file.tree, &mut |s| stmts.push(s.span));
 
-fn scan_segment(file: &SourceFile, start: usize, end: usize, out: &mut Vec<Finding>) {
-    let toks = &file.toks;
-    let seg = &toks[start..end.min(toks.len())];
-    let has_marker = seg
-        .iter()
-        .any(|t| t.kind == TokKind::Ident && is_clock_marker(&t.text));
-    for (off, t) in seg.iter().enumerate() {
-        let i = start + off;
-        if file.test_mask[i] || t.kind != TokKind::Ident {
+    let marker_in = |sp: Span| -> bool {
+        file.toks[sp.lo..sp.hi.min(toks.len())]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && is_clock_marker(&t.text))
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if file.test_mask[i] || file.attr_mask[i] || t.kind != TokKind::Ident {
             continue;
         }
         let method_call =
@@ -86,7 +87,25 @@ fn scan_segment(file: &SourceFile, start: usize, end: usize, out: &mut Vec<Findi
                         .to_string(),
                 ),
             );
-        } else if is_flagged_method(&t.text) && has_marker {
+            continue;
+        }
+        if !is_flagged_method(&t.text) {
+            continue;
+        }
+        // Scope: the innermost statement containing the call; tokens
+        // outside any statement (const values, struct-field defaults)
+        // fall back to the nearest `;{}` boundaries.
+        let scope = innermost_stmt(&stmts, i).unwrap_or_else(|| {
+            let lo = (0..i)
+                .rev()
+                .find(|&j| toks[j].is_punct(';') || toks[j].is_punct('{') || toks[j].is_punct('}'))
+                .map_or(0, |j| j + 1);
+            let hi = (i..toks.len())
+                .find(|&j| toks[j].is_punct(';') || toks[j].is_punct('{') || toks[j].is_punct('}'))
+                .unwrap_or(toks.len());
+            Span { lo, hi }
+        });
+        if marker_in(scope) {
             out.push(file.finding(
                 CHECKED_CLOCK_OPS,
                 i,
@@ -98,4 +117,5 @@ fn scan_segment(file: &SourceFile, start: usize, end: usize, out: &mut Vec<Findi
             ));
         }
     }
+    out
 }

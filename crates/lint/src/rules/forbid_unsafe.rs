@@ -19,9 +19,14 @@ pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     if !cfg.is_crate_root(&file.rel) {
         return Vec::new();
     }
+    // The parser records every attribute span in `tree.attrs`, so the
+    // attribute must be an *actual* attribute — the same token sequence
+    // inside a string or a doc example no longer counts.
     let toks = &file.toks;
-    let has = toks.windows(7).any(|w| {
-        w[0].is_punct('#')
+    let has = file.tree.attrs.iter().any(|a| {
+        let w = &toks[a.lo..a.hi.min(toks.len())];
+        w.len() >= 7
+            && w[0].is_punct('#')
             && w[1].is_punct('!')
             && w[2].is_punct('[')
             && w[3].is_ident("forbid")

@@ -6,15 +6,29 @@ use crate::diag::Finding;
 use crate::source::SourceFile;
 use crate::Config;
 
+mod barrier;
 mod checked_clock;
 mod forbid_unsafe;
 mod no_panic;
+mod nondet_iter;
 mod raw_time;
 
+pub use barrier::BARRIER_PROTOCOL;
 pub use checked_clock::CHECKED_CLOCK_OPS;
 pub use forbid_unsafe::FORBID_UNSAFE;
 pub use no_panic::NO_PANIC_HOT_PATH;
+pub use nondet_iter::NONDETERMINISTIC_ITERATION;
 pub use raw_time::RAW_TIME_ARITHMETIC;
+
+/// `stale-allow` is not a pass over source tokens: it fires from the
+/// allow-resolution step in `lib.rs` when an annotation suppresses
+/// nothing under the precise engine. It still registers here so
+/// `lit-lint rules` lists it and `--rule stale-allow` can gate on it.
+pub const STALE_ALLOW: &str = "stale-allow";
+
+fn no_pass(_f: &SourceFile, _c: &Config) -> Vec<Finding> {
+    Vec::new()
+}
 
 /// A lint rule: a stable name, a one-line description, and the pass.
 pub struct Rule {
@@ -56,6 +70,28 @@ pub fn all() -> Vec<Rule> {
                        must be justified",
             protects: "the fail-loudly overflow contract of sim/src/time.rs",
             check: checked_clock::check,
+        },
+        Rule {
+            name: NONDETERMINISTIC_ITERATION,
+            describe: "no HashMap/HashSet iteration or order-dependent draining in the \
+                       engine crates (net/core/sim)",
+            protects: "byte-identical results across shard counts (DESIGN.md §12) — only \
+                       as strong as every iteration order in the event path",
+            check: nondet_iter::check,
+        },
+        Rule {
+            name: BARRIER_PROTOCOL,
+            describe: "window state machine over crates/net/src/shard.rs: publish → \
+                       barrier A → sends → barrier B → abort check / drain",
+            protects: "the abort-race deadlock class loom caught after the fact in PR 7",
+            check: barrier::check,
+        },
+        Rule {
+            name: STALE_ALLOW,
+            describe: "an allow annotation whose finding no longer fires is itself a \
+                       violation — the allow list can only shrink",
+            protects: "the audit trail: every allow justifies a live finding",
+            check: no_pass,
         },
     ]
 }

@@ -22,7 +22,9 @@
 //!
 //! `crates/analysis` (measurement/reporting, float by design) and
 //! `crates/sim/src/time.rs` (the definitions themselves) are exempt, as is
-//! test code.
+//! test code. The v2 engine also skips tokens inside attributes,
+//! declared types, and binding patterns — `from_ps` naming a field type
+//! or a pattern arm is not a call.
 
 use super::{before_receiver, is_binary_arith};
 use crate::diag::Finding;
@@ -45,7 +47,12 @@ pub(super) fn check(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
     }
     let toks = &file.toks;
     for i in 0..toks.len() {
-        if file.test_mask[i] || toks[i].kind != TokKind::Ident {
+        if file.test_mask[i]
+            || file.attr_mask[i]
+            || file.type_mask[i]
+            || file.pat_mask[i]
+            || toks[i].kind != TokKind::Ident
+        {
             continue;
         }
         let name = toks[i].text.as_str();

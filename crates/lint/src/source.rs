@@ -1,10 +1,13 @@
-//! Per-file model the rules run against: tokens, source lines, allow
-//! annotations, and a mask of which tokens sit inside test-only code.
+//! Per-file model the rules run against: tokens, the parsed syntax
+//! tree, source lines, allow annotations, and per-token context masks
+//! (test-only code, attributes, declared types, patterns).
 
+use crate::ast::{self, Tree};
 use crate::diag::{parse_allows, Allow, Finding};
 use crate::lexer::{lex, Tok};
+use crate::parser::parse;
 
-/// A lexed source file ready for rule passes.
+/// A lexed and parsed source file ready for rule passes.
 pub struct SourceFile {
     /// Workspace-relative path, `/`-separated.
     pub rel: String,
@@ -12,9 +15,21 @@ pub struct SourceFile {
     pub lines: Vec<String>,
     /// Token stream.
     pub toks: Vec<Tok>,
+    /// Parsed item/expression tree over `toks`.
+    pub tree: Tree,
     /// `test_mask[i]` is true when token `i` is inside `#[cfg(test)]` /
     /// `#[test]` code (rules that target production code skip those).
     pub test_mask: Vec<bool>,
+    /// `attr_mask[i]`: token `i` is inside an attribute (`#[…]`), where
+    /// idents are metadata (`#[derive(Hash)]`), not code.
+    pub attr_mask: Vec<bool>,
+    /// `type_mask[i]`: token `i` is inside a declared-type position
+    /// (struct field type, `let` annotation, fn parameter type).
+    pub type_mask: Vec<bool>,
+    /// `pat_mask[i]`: token `i` is inside a binding pattern (`let` /
+    /// `for` / match-arm patterns), where `[a, b]` is a slice pattern,
+    /// not an index.
+    pub pat_mask: Vec<bool>,
     /// Parsed allow annotations.
     pub allows: Vec<Allow>,
     /// Findings for malformed annotations.
@@ -22,7 +37,7 @@ pub struct SourceFile {
 }
 
 impl SourceFile {
-    /// Lex and annotate `src` as file `rel`.
+    /// Lex, parse, and annotate `src` as file `rel`.
     pub fn new(rel: &str, src: &str) -> Self {
         let out = lex(src);
         let lines: Vec<String> = src.lines().map(String::from).collect();
@@ -30,11 +45,17 @@ impl SourceFile {
         code_lines.dedup();
         let (allows, allow_errors) = parse_allows(rel, &out.comments, &lines, &code_lines);
         let test_mask = test_mask(&out.toks);
+        let tree = parse(&out.toks);
+        let (attr_mask, type_mask, pat_mask) = context_masks(&tree, out.toks.len());
         SourceFile {
             rel: rel.to_string(),
             lines,
             toks: out.toks,
+            tree,
             test_mask,
+            attr_mask,
+            type_mask,
+            pat_mask,
             allows,
             allow_errors,
         }
@@ -60,6 +81,148 @@ impl SourceFile {
             snippet: self.snippet(t.line),
             justification: None,
         }
+    }
+}
+
+/// Compute the attribute / declared-type / pattern context masks from
+/// the parsed tree. Tokens inside these positions are data the rules'
+/// expression patterns must not match against (`#[derive(Hash)]` is not
+/// a `HashMap` use; `let [a, b] = xs;` is not an index).
+fn context_masks(tree: &Tree, n: usize) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+    let mut attr = vec![false; n];
+    let mut ty = vec![false; n];
+    let mut pat = vec![false; n];
+    let mark = |mask: &mut Vec<bool>, sp: ast::Span| {
+        for m in mask.iter_mut().take(sp.hi.min(n)).skip(sp.lo) {
+            *m = true;
+        }
+    };
+    for sp in &tree.attrs {
+        mark(&mut attr, *sp);
+    }
+    for it in &tree.items {
+        mark_item(it, &mut ty, &mut pat, n);
+    }
+    (attr, ty, pat)
+}
+
+fn mark_item(it: &ast::Item, ty: &mut Vec<bool>, pat: &mut Vec<bool>, n: usize) {
+    let mark = |mask: &mut Vec<bool>, sp: ast::Span| {
+        for m in mask.iter_mut().take(sp.hi.min(n)).skip(sp.lo) {
+            *m = true;
+        }
+    };
+    match &it.kind {
+        ast::ItemKind::Fn(f) => {
+            for p in &f.params {
+                mark(ty, p.ty);
+            }
+            if let Some(b) = &f.body {
+                mark_block(b, ty, pat, n);
+            }
+        }
+        ast::ItemKind::Struct(fields) => {
+            for f in fields {
+                mark(ty, f.ty);
+            }
+        }
+        ast::ItemKind::Items(items) => {
+            for sub in items {
+                mark_item(sub, ty, pat, n);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn mark_block(b: &ast::Block, ty: &mut Vec<bool>, pat: &mut Vec<bool>, n: usize) {
+    let mark = |mask: &mut Vec<bool>, sp: ast::Span| {
+        for m in mask.iter_mut().take(sp.hi.min(n)).skip(sp.lo) {
+            *m = true;
+        }
+    };
+    for s in &b.stmts {
+        match &s.kind {
+            ast::StmtKind::Let {
+                pat: p,
+                ty: t,
+                init,
+                els,
+            } => {
+                mark(pat, *p);
+                if let Some(t) = t {
+                    mark(ty, *t);
+                }
+                if let Some(e) = init {
+                    mark_expr(e, ty, pat, n);
+                }
+                if let Some(e) = els {
+                    mark_block(e, ty, pat, n);
+                }
+            }
+            ast::StmtKind::Item(it) => mark_item(it, ty, pat, n),
+            ast::StmtKind::Expr(e) => mark_expr(e, ty, pat, n),
+        }
+    }
+}
+
+fn mark_expr(e: &ast::Expr, ty: &mut Vec<bool>, pat: &mut Vec<bool>, n: usize) {
+    let mut mark_pat = |sp: ast::Span| {
+        for m in pat.iter_mut().take(sp.hi.min(n)).skip(sp.lo) {
+            *m = true;
+        }
+    };
+    match &e.kind {
+        ast::ExprKind::For { pat: p, .. } => mark_pat(*p),
+        ast::ExprKind::Match { arms, .. } => {
+            for a in arms {
+                mark_pat(a.pat);
+            }
+        }
+        _ => {}
+    }
+    // Recurse through nested blocks so `let` statements inside control
+    // flow are covered too.
+    match &e.kind {
+        ast::ExprKind::If { cond, then, els } => {
+            mark_expr(cond, ty, pat, n);
+            mark_block(then, ty, pat, n);
+            if let Some(x) = els {
+                mark_expr(x, ty, pat, n);
+            }
+        }
+        ast::ExprKind::Match { scrutinee, arms } => {
+            mark_expr(scrutinee, ty, pat, n);
+            for a in arms {
+                if let Some(g) = &a.guard {
+                    mark_expr(g, ty, pat, n);
+                }
+                mark_expr(&a.body, ty, pat, n);
+            }
+        }
+        ast::ExprKind::Loop { body, .. } | ast::ExprKind::Block(body) => {
+            mark_block(body, ty, pat, n)
+        }
+        ast::ExprKind::While { cond, body, .. } => {
+            mark_expr(cond, ty, pat, n);
+            mark_block(body, ty, pat, n);
+        }
+        ast::ExprKind::For { iter, body, .. } => {
+            mark_expr(iter, ty, pat, n);
+            mark_block(body, ty, pat, n);
+        }
+        ast::ExprKind::Closure { body, .. } => mark_expr(body, ty, pat, n),
+        ast::ExprKind::Macro { subs, .. } | ast::ExprKind::Leaf { subs } => {
+            for s in subs {
+                mark_expr(s, ty, pat, n);
+            }
+        }
+        ast::ExprKind::Return(x) | ast::ExprKind::Break(x) => {
+            if let Some(x) = x {
+                mark_expr(x, ty, pat, n);
+            }
+        }
+        ast::ExprKind::Continue => {}
     }
 }
 

@@ -1,5 +1,10 @@
-//! Known-good fixture: none of the four rules may fire on this file even
+//! Known-good fixture: none of the rules may fire on this file even
 //! when presented under a hot-path `src/` location. Never compiled.
+//!
+//! The lower half exercises the v2 engine's *proofs* — indexing shapes
+//! the token-pattern v1 could only allow-annotate, now proven in bounds
+//! from the tree — plus context-mask cases (slice patterns, attributes,
+//! types) that v1 misread as code.
 #![forbid(unsafe_code)]
 
 /// Clock math stays inside the newtypes or widens before leaving them.
@@ -20,6 +25,57 @@ fn graceful(v: &[u64], i: usize) -> u64 {
 /// Constructors fed literals or plain bindings only.
 fn built() -> Duration {
     Duration::from_ms(40)
+}
+
+const LEVELS: usize = 11;
+const WIDE: usize = 1 << 6;
+
+struct Wheelish {
+    occ: [u64; LEVELS],
+    slots: [u32; WIDE],
+}
+
+impl Wheelish {
+    /// Literal and const indexes into fixed arrays are proven in bounds.
+    fn proven_const_indexes(&self) -> u64 {
+        self.occ[0] + self.occ[10] + u64::from(self.slots[0])
+    }
+
+    /// A for-range loop variable bounded by the array length is proven.
+    fn proven_loop_indexes(&mut self) {
+        for l in 0..LEVELS {
+            self.occ[l] = 0;
+        }
+        for i in 0..self.occ.len() {
+            self.occ[i] += 1;
+        }
+    }
+}
+
+/// Slice patterns are patterns, not index expressions.
+fn slice_pattern(xs: &[u64]) -> u64 {
+    let [a, b] = [1u64, 2] else { return 0 };
+    match xs {
+        [first, .., last] => first + last,
+        _ => a + b,
+    }
+}
+
+/// Panic sources inside assert-macro argument lists are deliberate
+/// precondition checks, not hot-path aborts.
+fn asserts_are_deliberate(occ: &[u64; 4]) {
+    debug_assert!(occ[0] <= occ[3], "monotone {}", occ[0]);
+    assert_eq!(occ[1], occ[2]);
+}
+
+/// `from_ps`/`Duration` in type or pattern position is not clock math.
+struct Typed {
+    window_ps: u64,
+}
+
+fn typed(t: Typed) -> u64 {
+    let Typed { window_ps } = t;
+    window_ps
 }
 
 #[cfg(test)]

@@ -1,0 +1,244 @@
+//! Golden-tree tests for the lint parser (ISSUE 10 satellite): pin the
+//! exact tree shape on the constructs most likely to regress under a
+//! single-char-punct token stream — nested generics whose `>>` arrives
+//! as two `>` tokens, closures (pipe disambiguation), match guards, and
+//! labeled breaks out of nested loops.
+#![forbid(unsafe_code)]
+
+use lit_lint::ast::{dump, ExprKind, ItemKind, StmtKind};
+use lit_lint::lexer::lex;
+use lit_lint::parser::parse;
+
+fn golden(src: &str) -> String {
+    let out = lex(src);
+    let tree = parse(&out.toks);
+    lit_lint::ast::coverage(&tree, out.toks.len()).expect("coverage");
+    dump(&tree, &out.toks)
+}
+
+#[test]
+fn generics_with_shift_close() {
+    let src = "\
+struct Nest<T> {
+    grid: Vec<Vec<T>>,
+    by_key: BTreeMap<u64, Vec<Vec<u64>>>,
+}
+fn get(n: &Nest<u64>) -> Option<Vec<Vec<u64>>> {
+    let v: Vec<Vec<u64>> = n.grid.iter().cloned().collect::<Vec<Vec<u64>>>();
+    Some(v)
+}
+";
+    let got = golden(src);
+    let want = "\
+struct Nest
+  field grid: Vec < Vec < T > >
+  field by_key: BTreeMap < u64 , Vec < Vec < u64 > > >
+fn get(n)
+  block
+    let v: Vec < Vec < u64 > >
+      leaf
+    leaf
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+#[test]
+fn closures_block_and_expr_bodied() {
+    let src = "\
+fn apply(xs: &[u64]) -> u64 {
+    let f = |a: u64, b: u64| a + b;
+    let g = move |x: u64| {
+        let y = x + 1;
+        y
+    };
+    xs.iter().map(|v| f(*v, 1)).fold(0, |acc, v| acc + g(v))
+}
+";
+    let got = golden(src);
+    let want = "\
+fn apply(xs)
+  block
+    let f
+      closure |a : u64 , b : u64|
+        leaf
+    let g
+      closure |x : u64|
+        block-expr
+          let y
+          leaf
+    leaf
+      closure |v|
+        leaf
+      closure |acc , v|
+        leaf
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+#[test]
+fn match_with_guards() {
+    let src = "\
+fn classify(x: Option<u64>, limit: u64) -> u64 {
+    match x {
+        Some(v) if v > limit => v - limit,
+        Some(v) => v,
+        None if limit == 0 => 1,
+        None => 0,
+    }
+}
+";
+    let got = golden(src);
+    let want = "\
+fn classify(x, limit)
+  block
+    match
+      leaf
+      arm Some ( v )
+        guard
+          leaf
+        leaf
+      arm Some ( v )
+        leaf
+      arm None
+        guard
+          leaf
+        leaf
+      arm None
+        leaf
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+#[test]
+fn nested_loops_with_labeled_break() {
+    let src = "\
+fn scan(grid: &[Vec<u64>]) -> Option<(usize, usize)> {
+    'rows: for (i, row) in grid.iter().enumerate() {
+        let mut j = 0;
+        while j < row.len() {
+            if row[j] == 0 {
+                break 'rows;
+            }
+            j += 1;
+        }
+        loop {
+            break;
+        }
+    }
+    None
+}
+";
+    let got = golden(src);
+    // Note: an unlabeled `break` dumps with a trailing space (empty
+    // label slot), hence the concat form.
+    let want = concat!(
+        "fn scan(grid)\n",
+        "  block\n",
+        "    for ( i , row ) 'rows\n",
+        "      leaf\n",
+        "      block\n",
+        "        let mut j\n",
+        "          leaf\n",
+        "        while\n",
+        "          leaf\n",
+        "          block\n",
+        "            if\n",
+        "              leaf\n",
+        "              block\n",
+        "                break 'rows\n",
+        "            leaf\n",
+        "        loop\n",
+        "          block\n",
+        "            break \n",
+        "    leaf\n",
+    );
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+#[test]
+fn if_let_chains_and_let_else() {
+    let src = "\
+fn pick(opt: Option<u64>) -> u64 {
+    let Some(v) = opt else {
+        return 0;
+    };
+    if let Some(w) = opt {
+        w
+    } else if v > 1 {
+        v
+    } else {
+        1
+    }
+}
+";
+    let got = golden(src);
+    let want = "\
+fn pick(opt)
+  block
+    let Some ( v )
+      leaf
+      else
+        block
+          return
+            leaf
+    if
+      leaf
+      block
+        leaf
+    else
+      if
+        leaf
+        block
+          leaf
+      else
+        block-expr
+          leaf
+";
+    assert_eq!(got, want, "got:\n{got}");
+}
+
+/// Structural (non-golden) spot checks: the typed tree is queryable the
+/// way the rules use it.
+#[test]
+fn tree_shape_is_queryable() {
+    let src = "\
+impl Shard {
+    fn run(&mut self) {
+        loop {
+            self.barrier.wait();
+            match self.state {
+                0 => self.step(),
+                _ => break,
+            }
+        }
+    }
+}
+";
+    let out = lex(src);
+    let tree = parse(&out.toks);
+    let ItemKind::Items(items) = &tree.items[0].kind else {
+        panic!("impl should parse as an item container");
+    };
+    let ItemKind::Fn(f) = &items[0].kind else {
+        panic!("fn inside impl");
+    };
+    let body = f.body.as_ref().expect("fn body");
+    let StmtKind::Expr(loop_expr) = &body.stmts[0].kind else {
+        panic!("loop stmt");
+    };
+    let ExprKind::Loop {
+        body: loop_body, ..
+    } = &loop_expr.kind
+    else {
+        panic!("loop expr, got {:?}", loop_expr.kind);
+    };
+    assert_eq!(loop_body.stmts.len(), 2, "barrier call + match");
+    let StmtKind::Expr(m) = &loop_body.stmts[1].kind else {
+        panic!("match stmt");
+    };
+    let ExprKind::Match { arms, .. } = &m.kind else {
+        panic!("match expr, got {:?}", m.kind);
+    };
+    assert_eq!(arms.len(), 2);
+    assert!(matches!(arms[1].body.kind, ExprKind::Break(_)));
+}

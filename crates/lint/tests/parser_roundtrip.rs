@@ -1,0 +1,186 @@
+//! Round-trip property for the lint parser (ISSUE 10 satellite):
+//!
+//! 1. **Lexer fidelity** — every token's byte span reproduces its exact
+//!    source text, spans are ordered, and gaps + spans reassemble the
+//!    file byte-for-byte.
+//! 2. **Parse-tree coverage** — the tree's spans tile the token stream:
+//!    items tile the file, statements tile their blocks, children nest
+//!    in order ([`lit_lint::ast::coverage`]). Together with (1) this is
+//!    the lex → parse → span-reassembly ≡ source property.
+//!
+//! Run over (a) every real `.rs` file in this workspace — the parser
+//! must digest everything the rules will ever see — and (b) lit-prop
+//! generated programs stressing the constructs the golden tests pin
+//! (turbofish `>>`, closures, match guards, labeled breaks, let-else).
+#![forbid(unsafe_code)]
+
+use lit_lint::ast::coverage;
+use lit_lint::lexer::lex;
+use lit_lint::parser::parse;
+use lit_lint::{rel_str, workspace_files, Config};
+use lit_prop::Gen;
+
+/// Lexer fidelity: reassemble the source from byte spans.
+fn assert_lex_roundtrip(name: &str, src: &str) {
+    let out = lex(src);
+    let mut prev = 0usize;
+    let mut rebuilt = String::new();
+    for (k, t) in out.toks.iter().enumerate() {
+        assert!(
+            t.lo >= prev && t.hi >= t.lo,
+            "{name}: token {k} span {}..{} overlaps previous end {prev}",
+            t.lo,
+            t.hi
+        );
+        assert_eq!(
+            &src[t.lo..t.hi],
+            t.text,
+            "{name}: token {k} span text disagrees with lexeme"
+        );
+        rebuilt.push_str(&src[prev..t.lo]);
+        rebuilt.push_str(&src[t.lo..t.hi]);
+        prev = t.hi;
+    }
+    rebuilt.push_str(&src[prev..]);
+    assert_eq!(rebuilt, src, "{name}: lexer span reassembly diverged");
+}
+
+/// Parse-tree coverage: spans tile and nest.
+fn assert_parse_coverage(name: &str, src: &str) {
+    let out = lex(src);
+    let tree = parse(&out.toks);
+    if let Err(e) = coverage(&tree, out.toks.len()) {
+        panic!("{name}: parse-tree coverage violated: {e}");
+    }
+}
+
+#[test]
+fn roundtrip_every_workspace_file() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let mut cfg = Config::default();
+    cfg.skip.clear(); // fixtures too: the parser must survive known-bad code
+    let files = workspace_files(&root, &cfg).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks wrong: {}",
+        files.len()
+    );
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel)).expect("read source");
+        let name = rel_str(&rel);
+        assert_lex_roundtrip(&name, &src);
+        assert_parse_coverage(&name, &src);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated programs: compose tricky constructs at random.
+// ---------------------------------------------------------------------
+
+fn gen_ty(g: &mut Gen, depth: usize) -> String {
+    if depth == 0 || g.bool() {
+        (*g.pick(&["u64", "usize", "T", "String"])).to_string()
+    } else {
+        let inner = gen_ty(g, depth - 1);
+        match g.below(3) {
+            0 => format!("Vec<{inner}>"),
+            1 => format!("Option<Vec<{inner}>>"),
+            _ => format!("BTreeMap<u64, {inner}>"),
+        }
+    }
+}
+
+fn gen_expr(g: &mut Gen, depth: usize) -> String {
+    if depth == 0 {
+        return match g.below(4) {
+            0 => "x".to_string(),
+            1 => format!("{}", g.below(100)),
+            2 => "f(x, 1)".to_string(),
+            _ => "xs.iter().map(|v| v + 1).sum::<u64>()".to_string(),
+        };
+    }
+    let d = depth - 1;
+    match g.below(8) {
+        0 => format!(
+            "if {} {{ {} }} else {{ {} }}",
+            gen_expr(g, 0),
+            gen_expr(g, d),
+            gen_expr(g, d)
+        ),
+        1 => format!(
+            "match {} {{ Some(v) if v > 2 => {}, Some(_) => 0, None => {} }}",
+            gen_expr(g, 0),
+            gen_expr(g, d),
+            gen_expr(g, 0)
+        ),
+        2 => format!(
+            "({}).checked_add({}).unwrap_or(0)",
+            gen_expr(g, d),
+            gen_expr(g, 0)
+        ),
+        3 => format!("xs.iter().filter(|v| **v > {}).count()", g.below(10)),
+        4 => format!("{{ let t = {}; t + 1 }}", gen_expr(g, d)),
+        5 => format!("v.get::<Vec<Vec<u64>>>({})", g.below(4)),
+        6 => format!(
+            "(|a: u64, b: u64| a.max(b))({}, {})",
+            gen_expr(g, 0),
+            gen_expr(g, 0)
+        ),
+        _ => format!("{} + {}", gen_expr(g, 0), gen_expr(g, 0)),
+    }
+}
+
+fn gen_stmt(g: &mut Gen, depth: usize) -> String {
+    let d = depth.saturating_sub(1);
+    match g.below(7) {
+        0 => format!("let x: {} = Default::default();", gen_ty(g, 2)),
+        1 => format!("let mut acc = {};", gen_expr(g, d)),
+        2 => format!(
+            "'outer: for i in 0..{} {{ for j in 0..i {{ if j == 2 {{ break 'outer; }} let _ = {}; }} }}",
+            g.below(10) + 1,
+            gen_expr(g, d)
+        ),
+        3 => format!(
+            "while let Some(v) = it.next() {{ if v > {} {{ continue; }} acc += v; }}",
+            g.below(5)
+        ),
+        4 => format!("let Some(y) = opt else {{ return {}; }};", gen_expr(g, 0)),
+        5 => format!("acc += {};", gen_expr(g, d)),
+        _ => "loop { match st { 0 => st = 1, 1 if acc > 0 => break, _ => { st = 0; } } }".to_string(),
+    }
+}
+
+fn gen_program(g: &mut Gen) -> String {
+    let mut s = String::from("#![forbid(unsafe_code)]\n");
+    s.push_str("struct S<T> { items: Vec<Vec<T>>, map: BTreeMap<u64, Vec<u64>> }\n");
+    let nfns = g.size(1, 4);
+    for f in 0..nfns {
+        s.push_str(&format!(
+            "fn f{f}(x: u64, xs: &[u64], opt: Option<u64>) -> u64 {{\n"
+        ));
+        let nstmts = g.size(1, 6);
+        for _ in 0..nstmts {
+            s.push_str("    ");
+            s.push_str(&gen_stmt(g, 3));
+            s.push('\n');
+        }
+        s.push_str("    x\n}\n");
+    }
+    if g.bool() {
+        s.push_str("#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { assert_eq!(f0(1, &[], None), 1); }\n}\n");
+    }
+    s
+}
+
+#[test]
+fn roundtrip_generated_programs() {
+    lit_prop::check("parser_roundtrip_generated", |g| {
+        let src = gen_program(g);
+        assert_lex_roundtrip("generated", &src);
+        assert_parse_coverage("generated", &src);
+    });
+}

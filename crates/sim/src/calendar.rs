@@ -86,7 +86,6 @@ impl<T> Bucket<T> {
     }
 
     fn front(&self) -> Option<&Slot<T>> {
-        // lit-lint: allow(no-panic-hot-path, "fixed inline array; slot 0 exists for any BUCKET_CAP >= 1")
         self.slots[0].as_ref()
     }
 
@@ -109,7 +108,6 @@ impl<T> Bucket<T> {
     }
 
     fn pop_front(&mut self) -> Option<Slot<T>> {
-        // lit-lint: allow(no-panic-hot-path, "fixed inline array; slot 0 exists for any BUCKET_CAP >= 1")
         let out = self.slots[0].take()?;
         let l = self.len as usize;
         for i in 0..l - 1 {

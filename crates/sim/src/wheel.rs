@@ -135,9 +135,7 @@ impl<T> TimerWheel<T> {
     /// increasing so global FIFO order survives a clear.
     pub fn clear(&mut self) {
         for l in 0..LEVELS {
-            // lit-lint: allow(no-panic-hot-path, "l < LEVELS by loop bound")
             let mut occ = self.occ[l];
-            // lit-lint: allow(no-panic-hot-path, "l < LEVELS by loop bound")
             self.occ[l] = 0;
             while occ != 0 {
                 let s = occ.trailing_zeros() as usize;
@@ -194,9 +192,7 @@ impl<T> TimerWheel<T> {
     fn rebuild(&mut self, new_front: u64) {
         let mut all: Vec<Entry<T>> = Vec::with_capacity(self.len);
         for l in 0..LEVELS {
-            // lit-lint: allow(no-panic-hot-path, "l < LEVELS by loop bound")
             let mut occ = self.occ[l];
-            // lit-lint: allow(no-panic-hot-path, "l < LEVELS by loop bound")
             self.occ[l] = 0;
             while occ != 0 {
                 let s = occ.trailing_zeros() as usize;
@@ -260,7 +256,6 @@ impl<T> TimerWheel<T> {
         // lit-lint: allow(no-panic-hot-path, "caller found slot s occupied in the level-0 bitmap, and the bitmap tracks emptiness exactly")
         let e = q.pop_front().expect("wheel: occupied slot is empty");
         if q.is_empty() {
-            // lit-lint: allow(no-panic-hot-path, "index 0 < LEVELS: fixed array")
             self.occ[0] &= !(1 << s);
         }
         self.len -= 1;
@@ -281,7 +276,6 @@ impl<T> TimerWheel<T> {
             }
         }
         loop {
-            // lit-lint: allow(no-panic-hot-path, "index 0 < LEVELS: fixed array")
             let l0 = self.occ[0];
             if l0 != 0 {
                 return Some(self.take_front(l0.trailing_zeros() as usize));
@@ -305,7 +299,6 @@ impl<T> TimerWheel<T> {
         if self.len == 0 {
             return None;
         }
-        // lit-lint: allow(no-panic-hot-path, "index 0 < LEVELS: fixed array")
         let l0 = self.occ[0];
         if l0 != 0 {
             let s = l0.trailing_zeros() as usize;
